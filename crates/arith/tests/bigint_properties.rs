@@ -1,0 +1,90 @@
+//! Property tests: `BigInt` against `i128` reference arithmetic, and the
+//! algebraic laws the exact-cost Dijkstra relies on.
+
+use proptest::prelude::*;
+use rsp_arith::{BigInt, PathCost};
+
+/// Values small enough that sums/differences stay within i128.
+fn small() -> impl Strategy<Value = i128> {
+    any::<i64>().prop_map(|v| v as i128)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in small(), b in small()) {
+        let got = BigInt::from_i128(a) + BigInt::from_i128(b);
+        prop_assert_eq!(got, BigInt::from_i128(a + b));
+    }
+
+    #[test]
+    fn sub_matches_i128(a in small(), b in small()) {
+        let got = BigInt::from_i128(a) - BigInt::from_i128(b);
+        prop_assert_eq!(got, BigInt::from_i128(a - b));
+    }
+
+    #[test]
+    fn neg_involution(a in small()) {
+        prop_assert_eq!(-(-BigInt::from_i128(a)), BigInt::from_i128(a));
+    }
+
+    #[test]
+    fn ordering_matches_i128(a in small(), b in small()) {
+        prop_assert_eq!(
+            BigInt::from_i128(a).cmp(&BigInt::from_i128(b)),
+            a.cmp(&b)
+        );
+    }
+
+    #[test]
+    fn to_i128_round_trip(a in any::<i128>()) {
+        prop_assert_eq!(BigInt::from_i128(a).to_i128(), Some(a));
+    }
+
+    #[test]
+    fn display_matches_i128(a in any::<i128>()) {
+        prop_assert_eq!(BigInt::from_i128(a).to_string(), a.to_string());
+    }
+
+    #[test]
+    fn shift_is_doubling(a in small(), k in 0u32..40) {
+        let shifted = BigInt::from_i128(a) << k as usize;
+        prop_assert_eq!(shifted, BigInt::from_i128(a) * (1u64 << k));
+    }
+
+    #[test]
+    fn mul_u64_matches_i128(a in -(1i128 << 40)..(1i128 << 40), b in 0u64..(1 << 20)) {
+        let got = BigInt::from_i128(a) * b;
+        prop_assert_eq!(got, BigInt::from_i128(a * b as i128));
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative(a in small(), b in small(), c in small()) {
+        let (x, y, z) = (BigInt::from_i128(a), BigInt::from_i128(b), BigInt::from_i128(c));
+        prop_assert_eq!(&x + &y, &y + &x);
+        prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+    }
+
+    /// The translation invariance Dijkstra's correctness needs:
+    /// a < b implies a + c < b + c.
+    #[test]
+    fn order_translation_invariant(a in small(), b in small(), c in small()) {
+        prop_assume!(a < b);
+        let (x, y, z) = (BigInt::from_i128(a), BigInt::from_i128(b), BigInt::from_i128(c));
+        prop_assert!(&x + &z < &y + &z);
+    }
+
+    /// PathCost laws: zero identity and agreement with addition.
+    #[test]
+    fn path_cost_laws(a in 0i128..(1 << 60)) {
+        let x = BigInt::from_i128(a);
+        prop_assert_eq!(BigInt::zero().plus(&x), x.clone());
+        prop_assert_eq!(x.plus(&BigInt::zero()), x.clone());
+        prop_assert_eq!(x.plus(&x), BigInt::from_i128(2 * a));
+    }
+
+    #[test]
+    fn bits_matches_magnitude(a in 1u64..) {
+        let b = BigInt::from_u128(a as u128);
+        prop_assert_eq!(b.bits(), (64 - a.leading_zeros()) as usize);
+    }
+}

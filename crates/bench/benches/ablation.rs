@@ -1,0 +1,62 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * exact `u128` grid costs vs exact `BigInt` geometric costs (the price
+//!   of determinism);
+//! * restoration's proper-subset scan as the fault budget grows
+//!   (`2^f − 1` subsets, the `n^{O(f)}` the paper flags);
+//! * tree-union subset-rp vs full-graph per-pair (the Algorithm 1 trick
+//!   in isolation);
+//! * the per-call overhead of fresh perturbation sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_core::{restore_by_concatenation, GeometricAtw, RandomGridAtw};
+use rsp_graph::{generators, FaultSet};
+
+fn ablation_cost_type(c: &mut Criterion) {
+    // Same graph, same algorithm, two exact cost representations.
+    let g = generators::grid(6, 6);
+    let grid = RandomGridAtw::theorem20(&g, 1).into_scheme();
+    let geo = GeometricAtw::new(&g).into_scheme();
+    let empty = FaultSet::empty();
+    let mut group = c.benchmark_group("ablation/cost_type_spt_grid6x6");
+    group.bench_function("u128_grid_weights", |b| b.iter(|| grid.spt(0, &empty)));
+    group.bench_function("bigint_geometric_weights", |b| b.iter(|| geo.spt(0, &empty)));
+    group.finish();
+}
+
+fn ablation_fault_budget(c: &mut Criterion) {
+    // Restoration cost vs |F|: the subset scan doubles per extra fault
+    // and each subset pays two tree computations.
+    let g = generators::torus(5, 5);
+    let scheme = RandomGridAtw::theorem20(&g, 2).into_scheme();
+    let edges: Vec<usize> = vec![0, 7, 19];
+    let mut group = c.benchmark_group("ablation/restore_vs_fault_budget");
+    for f in 1..=3usize {
+        let faults = FaultSet::from_edges(edges[..f].iter().copied());
+        group.bench_function(format!("f{f}"), |b| {
+            b.iter(|| restore_by_concatenation(&scheme, 0, 12, &faults))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_scheme_sampling(c: &mut Criterion) {
+    // How much of Algorithm 1's per-pair cost is perturbation sampling?
+    let g = generators::connected_gnm(200, 600, 3);
+    let mut group = c.benchmark_group("ablation/sampling_overhead_n200");
+    group.bench_function("sample_and_build_scheme", |b| {
+        b.iter(|| RandomGridAtw::theorem20(&g, 9).into_scheme())
+    });
+    let scheme = RandomGridAtw::theorem20(&g, 9).into_scheme();
+    group.bench_function("one_spt_after_build", |b| {
+        b.iter(|| scheme.spt(0, &FaultSet::empty()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_cost_type, ablation_fault_budget, ablation_scheme_sampling
+}
+criterion_main!(benches);

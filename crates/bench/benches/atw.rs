@@ -1,0 +1,39 @@
+//! E10 timing: ATW construction and exact-weight shortest-path trees for
+//! the three weight constructions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_core::{GeometricAtw, RandomGridAtw};
+use rsp_graph::{generators, FaultSet};
+
+fn bench_construction(c: &mut Criterion) {
+    let g = generators::connected_gnm(500, 1500, 1);
+    c.bench_function("atw/build_theorem20_n500", |b| {
+        b.iter(|| RandomGridAtw::theorem20(&g, 7).into_scheme())
+    });
+    c.bench_function("atw/build_corollary22_n500", |b| {
+        b.iter(|| RandomGridAtw::corollary22(&g, 1, 1, 7).into_scheme())
+    });
+    let small = generators::grid(5, 5);
+    c.bench_function("atw/build_geometric_grid5x5", |b| {
+        b.iter(|| GeometricAtw::new(&small).into_scheme())
+    });
+}
+
+fn bench_spt(c: &mut Criterion) {
+    let g = generators::connected_gnm(500, 1500, 1);
+    let empty = FaultSet::empty();
+    let grid_scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
+    c.bench_function("atw/spt_u128_n500", |b| b.iter(|| grid_scheme.spt(0, &empty)));
+
+    // BigInt costs are the price of determinism (Theorem 23).
+    let small = generators::grid(5, 5);
+    let geo = GeometricAtw::new(&small).into_scheme();
+    c.bench_function("atw/spt_bigint_grid5x5", |b| b.iter(|| geo.spt(0, &empty)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_construction, bench_spt
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E9 timing: CONGEST simulator throughput for the distributed
+//! constructions (Lemma 34, Theorem 35, Lemma 36, Corollary 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_congest::{
+    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt,
+    scheduled_multi_spt,
+};
+use rsp_core::RandomGridAtw;
+use rsp_graph::generators;
+
+fn bench_congest(c: &mut Criterion) {
+    let g = generators::torus(10, 10);
+    let scheme = RandomGridAtw::theorem20(&g, 3).into_scheme();
+
+    c.bench_function("congest/spt_torus10x10", |b| {
+        b.iter(|| distributed_spt(&g, &scheme, 0).expect("quota obeyed"))
+    });
+
+    let sources: Vec<usize> = (0..8).map(|i| i * 12).collect();
+    c.bench_function("congest/multi_spt_s8_torus10x10", |b| {
+        b.iter(|| scheduled_multi_spt(&g, &scheme, &sources, 7).expect("quota obeyed"))
+    });
+
+    c.bench_function("congest/1ft_preserver_s8_torus10x10", |b| {
+        b.iter(|| distributed_1ft_subset_preserver(&g, &sources, 9).expect("quota obeyed"))
+    });
+
+    c.bench_function("congest/1ft_spanner_torus10x10", |b| {
+        b.iter(|| distributed_ft_spanner(&g, 10, 11).expect("quota obeyed"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_congest
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E8 timing: fault-tolerant distance label construction and queries
+//! (Theorem 30).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_core::RandomGridAtw;
+use rsp_graph::generators;
+use rsp_labeling::build_labeling;
+
+fn bench_labeling(c: &mut Criterion) {
+    let g = generators::connected_gnm(80, 240, 3);
+    let scheme = RandomGridAtw::theorem20(&g, 5).into_scheme();
+
+    c.bench_function("labeling/build_f0_n80", |b| b.iter(|| build_labeling(&scheme, 0)));
+
+    let labeling = build_labeling(&scheme, 0);
+    let (u, v) = g.endpoints(0);
+    c.bench_function("labeling/query_one_fault_n80", |b| {
+        b.iter(|| labeling.query(0, g.n() - 1, &[(u, v)]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_labeling
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E6 timing: the Theorem 27 lower-bound family, bad scheme vs
+//! perturbation on `G*_1(V, E, W)`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_preserver::lower_bound::{
+    build_lower_bound_graph, run_bad_scheme, run_perturbed_scheme,
+};
+
+fn bench_lower_bound(c: &mut Criterion) {
+    c.bench_function("lower_bound/build_g1_d16", |b| {
+        b.iter(|| build_lower_bound_graph(1, 16, 256))
+    });
+
+    let lb = build_lower_bound_graph(1, 16, 256);
+    c.bench_function("lower_bound/bad_scheme_d16", |b| b.iter(|| run_bad_scheme(&lb)));
+    c.bench_function("lower_bound/perturbed_d16", |b| {
+        b.iter(|| run_perturbed_scheme(&lb, 9))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lower_bound
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E5 timing: fault-tolerant preserver construction (Theorems 26 and 31).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_core::RandomGridAtw;
+use rsp_graph::generators;
+use rsp_preserver::{ft_bfs_structure, ft_subset_preserver};
+
+fn bench_preserver(c: &mut Criterion) {
+    let g = generators::connected_gnm(120, 360, 5);
+    let scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
+
+    c.bench_function("preserver/ft_bfs_f1_n120", |b| {
+        b.iter(|| ft_bfs_structure(&scheme, 0, 1))
+    });
+
+    let sources = [0, 40, 80];
+    c.bench_function("preserver/subset_1ft_n120_s3", |b| {
+        b.iter(|| ft_subset_preserver(&scheme, &sources, 1))
+    });
+    c.bench_function("preserver/subset_2ft_n120_s3", |b| {
+        b.iter(|| ft_subset_preserver(&scheme, &sources, 2))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_preserver
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E1/E2/E3 timing: restoration by concatenation, property verification,
+//! and the Theorem 37 exhaustive search.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rsp_core::c4::search_symmetric_1_restorable;
+use rsp_core::verify::{all_fault_sets, verify_restorability};
+use rsp_core::{restore_by_concatenation, restore_single_fault, RandomGridAtw};
+use rsp_graph::{generators, FaultSet};
+
+fn bench_restore(c: &mut Criterion) {
+    let g = generators::grid(5, 5);
+    let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
+    let (s, t) = (0, g.n() - 1);
+    let e = g
+        .edge_between(0, 1)
+        .expect("grid edge");
+
+    c.bench_function("restore/single_fault_grid5x5", |b| {
+        b.iter(|| restore_single_fault(&scheme, s, t, e).expect("connected"))
+    });
+
+    let faults = FaultSet::from_edges([e, g.edge_between(5, 6).expect("grid edge")]);
+    c.bench_function("restore/two_faults_grid5x5", |b| {
+        b.iter(|| restore_by_concatenation(&scheme, s, t, &faults).expect("connected"))
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let g = generators::cycle(6);
+    let scheme = RandomGridAtw::theorem20(&g, 2).into_scheme();
+    let singles = all_fault_sets(g.m(), 1);
+    c.bench_function("verify/1-restorability_c6", |b| {
+        b.iter(|| verify_restorability(&scheme, &singles).expect("restorable"))
+    });
+}
+
+fn bench_theorem37(c: &mut Criterion) {
+    c.bench_function("theorem37/search_c4", |b| {
+        b.iter_batched(
+            || generators::cycle(4),
+            |g| {
+                let r = search_symmetric_1_restorable(&g, 16, 10_000).expect("fits caps");
+                assert!(r.witness.is_none());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_restore, bench_verify, bench_theorem37
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E7 timing: fault-tolerant +4 additive spanner construction
+//! (Lemma 32 / Theorem 33).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_core::RandomGridAtw;
+use rsp_graph::generators;
+use rsp_spanner::{ft_additive_spanner, theorem33_sigma};
+
+fn bench_spanner(c: &mut Criterion) {
+    let n = 150;
+    let g = generators::connected_gnm(n, n * (n - 1) / 8, 7);
+    let scheme = RandomGridAtw::theorem20(&g, 9).into_scheme();
+    let sigma = theorem33_sigma(n, 1);
+
+    c.bench_function("spanner/1ft_plus4_n150", |b| {
+        b.iter(|| ft_additive_spanner(&scheme, sigma, 1, 11))
+    });
+    c.bench_function("spanner/2ft_plus4_n150", |b| {
+        b.iter(|| ft_additive_spanner(&scheme, theorem33_sigma(n, 2), 2, 11))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spanner
+}
+criterion_main!(benches);

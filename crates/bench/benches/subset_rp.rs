@@ -1,0 +1,41 @@
+//! E4/E11 timing: Algorithm 1 against its baselines (Theorems 3 and 28).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_graph::generators;
+use rsp_replacement::{
+    naive_single_pair, per_pair_subset_rp, single_pair_replacement_paths,
+    subset_replacement_paths,
+};
+
+fn bench_subset_rp(c: &mut Criterion) {
+    // Dense regime: the tree-union trick pays off (Theorem 3).
+    let n = 150;
+    let g = generators::connected_gnm(n, n * (n - 1) / 8, 3);
+    let sources = [0, 30, 60, 90, 120, 149];
+    c.bench_function("subset_rp/algorithm1_dense_n150_s6", |b| {
+        b.iter(|| subset_replacement_paths(&g, &sources, 1))
+    });
+    c.bench_function("subset_rp/per_pair_dense_n150_s6", |b| {
+        b.iter(|| per_pair_subset_rp(&g, &sources, 1))
+    });
+}
+
+fn bench_single_pair(c: &mut Criterion) {
+    // Long-path regime: naive pays one BFS per path edge (Theorem 28).
+    let g = generators::grid(8, 64);
+    let (s, t) = (0, g.n() - 1);
+    c.bench_function("single_pair/fast_grid8x64", |b| {
+        b.iter(|| single_pair_replacement_paths(&g, s, t, 3).expect("connected"))
+    });
+    let path = single_pair_replacement_paths(&g, s, t, 3).expect("connected").path().clone();
+    c.bench_function("single_pair/naive_grid8x64", |b| {
+        b.iter(|| naive_single_pair(&g, s, t, path.clone()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_subset_rp, bench_single_pair
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Command-line experiment runner: regenerates every figure and headline
+//! claim of the paper (see DESIGN.md's experiment index).
+//!
+//! ```text
+//! experiments [--quick] [all | e1 e2 … e11]
+//! ```
+
+use rsp_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        experiments::ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+
+    println!(
+        "Restorable Shortest Path Tiebreaking — experiment harness\n\
+         (paper: Bodwin & Parter, PODC 2021; mode: {})\n",
+        if quick { "quick" } else { "full" }
+    );
+    let mut unknown = Vec::new();
+    for id in &ids {
+        let start = std::time::Instant::now();
+        if experiments::run(id, quick) {
+            println!("[{id} finished in {:.1}s]\n", start.elapsed().as_secs_f64());
+        } else {
+            unknown.push(id.clone());
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment ids: {unknown:?}; valid: {:?}", experiments::ALL);
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,69 @@
+//! **E5 / Theorems 5, 26, 31** — fault-tolerant preserver sizes against
+//! the `O(n^{2−1/2^f} |S|^{1/2^f})` bound, with sampled correctness
+//! verification.
+
+use rsp_core::verify::sample_fault_sets;
+use rsp_core::RandomGridAtw;
+use rsp_preserver::{ft_subset_preserver, verify_preserver, PairSet};
+
+use crate::reporting::{f3, loglog_slope, Table};
+use crate::workloads::{sparse_sweep, spread_sources};
+
+/// Runs E5 and prints the tables.
+pub fn run(quick: bool) {
+    let sizes: &[usize] = if quick { &[40, 80] } else { &[40, 80, 160, 320] };
+    let sigma = 4;
+    for f_total in [1usize, 2] {
+        let mut table = Table::new(
+            &format!(
+                "E5 (Theorem 31): {f_total}-FT S x S preserver sizes, sigma = {sigma}"
+            ),
+            &["graph", "n", "m", "edges", "bound n^(2-1/2^f) s^(1/2^f)", "edges/bound"],
+        );
+        let mut ns = Vec::new();
+        let mut es = Vec::new();
+        for w in sparse_sweep(sizes, 5) {
+            let g = &w.graph;
+            let scheme = RandomGridAtw::theorem20(g, 13).into_scheme();
+            let sources = spread_sources(g.n(), sigma);
+            // Theorem 31 sets the internal overlay depth to f_total − 1.
+            let p = ft_subset_preserver(&scheme, &sources, f_total);
+            // Sampled ground-truth verification.
+            let fault_sets =
+                sample_fault_sets(g.m(), f_total, if quick { 8 } else { 25 }, 17);
+            verify_preserver(g, &p, &PairSet::subset(sources.clone()), &fault_sets)
+                .expect("preserver must be correct");
+            let fexp = f_total - 1; // the bound's f is the overlay depth
+            let bound = (g.n() as f64).powf(2.0 - 1.0 / (1u64 << fexp) as f64)
+                * (sigma as f64).powf(1.0 / (1u64 << fexp) as f64);
+            ns.push(g.n() as f64);
+            es.push(p.edge_count() as f64);
+            table.row(&[
+                w.name.clone(),
+                g.n().to_string(),
+                g.m().to_string(),
+                p.edge_count().to_string(),
+                f3(bound),
+                f3(p.edge_count() as f64 / bound),
+            ]);
+        }
+        table.print();
+        let slope = loglog_slope(&ns, &es);
+        let fexp = f_total - 1;
+        let predicted = 2.0 - 1.0 / (1u64 << fexp) as f64;
+        println!(
+            "measured growth exponent {} vs theorem exponent {} \
+             (must not exceed it asymptotically)\n",
+            f3(slope),
+            f3(predicted)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e5_runs_quick() {
+        super::run(true);
+    }
+}

@@ -1,0 +1,83 @@
+//! **E6 / Theorem 27, Figures 2–3** — the lower-bound family: a bad
+//! consistent-stable-symmetric scheme is forced to keep `Ω(n^{3/2})`
+//! preserver edges on `G*_1(V, E, W)`, while random perturbation
+//! tiebreaking on the *same graph and fault family* stays near-linear.
+
+use rsp_preserver::lower_bound::{
+    build_lower_bound_graph, run_bad_scheme, run_perturbed_scheme,
+};
+
+use crate::reporting::{f3, loglog_slope, Table};
+
+/// Runs E6 and prints the tables.
+pub fn run(quick: bool) {
+    let ds: &[usize] = if quick { &[6, 10] } else { &[6, 10, 16, 24, 34] };
+    let mut table = Table::new(
+        "E6 (Theorem 27, Figs 2-3): forced preserver size on G*_1(V,E,W)",
+        &["d", "n", "m", "bad forced B-edges", "perturbed B-edges", "bad/n^1.5", "ratio"],
+    );
+    let mut ns = Vec::new();
+    let mut bads = Vec::new();
+    for &d in ds {
+        // |X| scaled with the tree size, as in the paper (X is Θ(n)).
+        let x_count = d * d;
+        let lb = build_lower_bound_graph(1, d, x_count);
+        let bad = run_bad_scheme(&lb);
+        let good = run_perturbed_scheme(&lb, 99);
+        assert!(
+            bad.bipartite_forced >= (d - 1) * x_count,
+            "the bad scheme must capture the full bipartite graph"
+        );
+        assert!(
+            good.bipartite_forced < bad.bipartite_forced,
+            "perturbation must escape the lower bound"
+        );
+        let n15 = (bad.n as f64).powf(1.5);
+        ns.push(bad.n as f64);
+        bads.push(bad.bipartite_forced as f64);
+        table.row(&[
+            d.to_string(),
+            bad.n.to_string(),
+            bad.m.to_string(),
+            bad.bipartite_forced.to_string(),
+            good.bipartite_forced.to_string(),
+            f3(bad.bipartite_forced as f64 / n15),
+            f3(bad.bipartite_forced as f64 / good.bipartite_forced.max(1) as f64),
+        ]);
+    }
+    table.print();
+    println!(
+        "measured bad-scheme growth exponent: {} (theory: 1.5 in n);\n\
+         the perturbed scheme's forced edges grow strictly slower — the\n\
+         Section 4.1 remark that random perturbations escape Theorem 27.\n",
+        f3(loglog_slope(&ns, &bads))
+    );
+
+    if !quick {
+        // One f = 2 instance to exercise the recursive construction.
+        let lb = build_lower_bound_graph(2, 9, 81);
+        let bad = run_bad_scheme(&lb);
+        let good = run_perturbed_scheme(&lb, 7);
+        let mut t2 = Table::new(
+            "E6b: one G*_2 instance (f = 2)",
+            &["n", "m", "leaves", "bad forced", "perturbed"],
+        );
+        t2.row(&[
+            bad.n.to_string(),
+            bad.m.to_string(),
+            lb.leaves.len().to_string(),
+            bad.bipartite_forced.to_string(),
+            good.bipartite_forced.to_string(),
+        ]);
+        t2.print();
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e6_runs_quick() {
+        super::run(true);
+    }
+}

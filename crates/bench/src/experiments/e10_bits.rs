@@ -1,0 +1,86 @@
+//! **E10 / Corollary 22 vs Theorem 23** — bit complexity of the three
+//! ATW constructions and the isolation-lemma tie probability.
+
+use rsp_core::{GeometricAtw, RandomGridAtw};
+use rsp_graph::{generators, FaultSet};
+
+use crate::reporting::{f3, Table};
+
+/// Runs E10 and prints the tables.
+pub fn run(quick: bool) {
+    let mut table = Table::new(
+        "E10 (Cor 22 / Thm 23): bits per edge weight",
+        &["graph", "n", "m", "thm20 bits", "cor22 f=1", "cor22 f=3", "thm23 bits", "cor22 tie prob"],
+    );
+    let graphs = vec![
+        ("grid-5x5", generators::grid(5, 5)),
+        ("gnm-60-180", generators::connected_gnm(60, 180, 1)),
+        ("gnm-200-600", generators::connected_gnm(200, 600, 2)),
+    ];
+    let graphs = if quick { &graphs[..2] } else { &graphs[..] };
+    for (name, g) in graphs {
+        let t20 = RandomGridAtw::theorem20(g, 1);
+        let c22_1 = RandomGridAtw::corollary22(g, 1, 1, 1);
+        let c22_3 = RandomGridAtw::corollary22(g, 3, 1, 1);
+        let t23 = GeometricAtw::new(g);
+        assert!(c22_1.bits_per_weight() <= c22_3.bits_per_weight());
+        assert!(
+            t23.bits_per_weight() > c22_3.bits_per_weight(),
+            "the deterministic scheme pays Θ(m) bits"
+        );
+        table.row(&[
+            name.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            t20.bits_per_weight().to_string(),
+            c22_1.bits_per_weight().to_string(),
+            c22_3.bits_per_weight().to_string(),
+            t23.bits_per_weight().to_string(),
+            format!("{:.2e}", c22_1.tie_probability_bound()),
+        ]);
+    }
+    table.print();
+
+    // Empirical tie check: run every single-fault SPT on a tie-rich graph
+    // under the *coarsest* grid and count observed ties.
+    let g = generators::grid(4, 4);
+    let mut t2 = Table::new(
+        "E10b: observed ties across all single-fault SPTs on grid-4x4",
+        &["grid half-width K", "ties observed", "bound m/K"],
+    );
+    let widths: &[u128] = if quick { &[4, 1 << 20] } else { &[2, 4, 16, 256, 1 << 20, 1 << 40] };
+    for &k in widths {
+        let scheme = RandomGridAtw::with_half_width(&g, k, 3).into_scheme();
+        let mut ties = 0usize;
+        let mut runs = 0usize;
+        let mut fault_sets = vec![FaultSet::empty()];
+        fault_sets.extend(g.edges().map(|(e, _, _)| FaultSet::single(e)));
+        for fs in &fault_sets {
+            for s in g.vertices() {
+                runs += 1;
+                if scheme.spt(s, fs).ties_detected() {
+                    ties += 1;
+                }
+            }
+        }
+        t2.row(&[
+            k.to_string(),
+            format!("{ties}/{runs}"),
+            f3(g.m() as f64 / k as f64),
+        ]);
+    }
+    t2.print();
+    println!(
+        "shape check: Cor 22 bits grow with f like O(f log n); Thm 23 pays\n\
+         Θ(m) bits but is deterministic; observed ties vanish as K grows,\n\
+         tracking the isolation-lemma bound.\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e10_runs_quick() {
+        super::run(true);
+    }
+}

@@ -1,0 +1,46 @@
+//! One module per experiment; see DESIGN.md's experiment index.
+//!
+//! Every experiment has a `run(quick: bool)` entry point that prints its
+//! table(s) to stdout. `quick` shrinks the sweeps for CI-speed runs; the
+//! full mode is what EXPERIMENTS.md records.
+
+pub mod e01_sensitivity;
+pub mod e02_restorability;
+pub mod e03_c4;
+pub mod e04_subset_rp;
+pub mod e05_preserver;
+pub mod e06_lower_bound;
+pub mod e07_spanner;
+pub mod e08_labels;
+pub mod e09_congest;
+pub mod e10_bits;
+pub mod e11_single_pair;
+pub mod e12_dag;
+pub mod e13_weighted;
+
+/// All experiment ids, in run order.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+];
+
+/// Dispatches one experiment by id (`"e1"`, …). Returns `false` for an
+/// unknown id.
+pub fn run(id: &str, quick: bool) -> bool {
+    match id {
+        "e1" => e01_sensitivity::run(quick),
+        "e2" => e02_restorability::run(quick),
+        "e3" => e03_c4::run(quick),
+        "e4" => e04_subset_rp::run(quick),
+        "e5" => e05_preserver::run(quick),
+        "e6" => e06_lower_bound::run(quick),
+        "e7" => e07_spanner::run(quick),
+        "e8" => e08_labels::run(quick),
+        "e9" => e09_congest::run(quick),
+        "e10" => e10_bits::run(quick),
+        "e11" => e11_single_pair::run(quick),
+        "e12" => e12_dag::run(quick),
+        "e13" => e13_weighted::run(quick),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,22 @@
+//! Experiment harness for the Bodwin–Parter reproduction.
+//!
+//! Each experiment in [`experiments`] regenerates one figure or headline
+//! claim of the paper (see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for recorded outcomes). The binary
+//! `experiments` runs them from the command line:
+//!
+//! ```text
+//! cargo run -p rsp-bench --release --bin experiments -- all
+//! cargo run -p rsp-bench --release --bin experiments -- e1 e6
+//! ```
+//!
+//! The Criterion benches under `benches/` time the individual algorithms
+//! on fixed workloads; the experiment binary is about *shapes* (who wins,
+//! by what factor, with what exponent), the benches about wall-clock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod reporting;
+pub mod workloads;

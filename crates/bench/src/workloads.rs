@@ -1,0 +1,95 @@
+//! Shared workload definitions for the experiments and benches.
+
+use rsp_graph::{generators, Graph, Vertex};
+
+/// A named graph instance for the sweep tables.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Display name (family + parameters).
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+}
+
+impl Workload {
+    fn new(name: impl Into<String>, graph: Graph) -> Self {
+        Workload { name: name.into(), graph }
+    }
+}
+
+/// The small tie-rich graphs used by the exhaustive experiments
+/// (restorability, C4, MPLS failover).
+pub fn tie_rich_small() -> Vec<Workload> {
+    vec![
+        Workload::new("C4", generators::cycle(4)),
+        Workload::new("C6", generators::cycle(6)),
+        Workload::new("grid-3x3", generators::grid(3, 3)),
+        Workload::new("grid-3x4", generators::grid(3, 4)),
+        Workload::new("hypercube-3", generators::hypercube(3)),
+        Workload::new("petersen", generators::petersen()),
+        Workload::new("K5", generators::complete(5)),
+        Workload::new("gnm-16-32", generators::connected_gnm(16, 32, 7)),
+    ]
+}
+
+/// Medium random graphs (`m = 3n`) for the scaling sweeps.
+pub fn sparse_sweep(sizes: &[usize], seed: u64) -> Vec<Workload> {
+    sizes
+        .iter()
+        .map(|&n| {
+            Workload::new(
+                format!("gnm-{n}-{}", 3 * n),
+                generators::connected_gnm(n, 3 * n, seed + n as u64),
+            )
+        })
+        .collect()
+}
+
+/// Dense random graphs (`m ≈ n²/8`) where subset-rp's tree-union trick
+/// pays off.
+pub fn dense_sweep(sizes: &[usize], seed: u64) -> Vec<Workload> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let m = (n * (n - 1) / 8).max(2 * n);
+            Workload::new(format!("gnm-{n}-{m}"), generators::connected_gnm(n, m, seed + n as u64))
+        })
+        .collect()
+}
+
+/// Evenly spread `k` sources over `0..n`.
+pub fn spread_sources(n: usize, k: usize) -> Vec<Vertex> {
+    assert!(k <= n, "cannot pick {k} sources from {n} vertices");
+    (0..k).map(|i| i * n / k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_graph::is_connected;
+
+    #[test]
+    fn small_workloads_are_connected() {
+        for w in tie_rich_small() {
+            assert!(is_connected(&w.graph), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn sweeps_scale() {
+        let s = sparse_sweep(&[20, 40], 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].graph.n(), 20);
+        assert_eq!(s[0].graph.m(), 60);
+        let d = dense_sweep(&[24], 1);
+        assert!(d[0].graph.m() >= 48);
+    }
+
+    #[test]
+    fn sources_spread_and_distinct() {
+        let s = spread_sources(100, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&v| v < 100));
+    }
+}

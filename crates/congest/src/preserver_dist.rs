@@ -1,0 +1,298 @@
+//! Lemma 36 and Corollary 9(1): distributed fault-tolerant preservers and
+//! +4 additive spanners, plus the Theorem 8 round formulas for the
+//! higher-fault constructions.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rsp_core::RandomGridAtw;
+use rsp_graph::{EdgeId, Graph, Vertex};
+
+use crate::scheduler::scheduled_multi_spt;
+use crate::sim::RunStats;
+
+/// An edge set computed by a distributed algorithm, with its run
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct DistributedEdgeSet {
+    /// Edge ids (in the host graph), sorted.
+    pub edges: Vec<EdgeId>,
+    /// Round/message statistics, including setup rounds.
+    pub stats: RunStats,
+}
+
+impl DistributedEdgeSet {
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// **Lemma 36 / Theorem 8(1)**: a 1-FT `S × S` preserver with `O(|S|·n)`
+/// edges in `Õ(D + |S|)` rounds.
+///
+/// Protocol: (round 0) every vertex samples the restorable tiebreaking
+/// weights of its incident edges and exchanges them with the other
+/// endpoints — modeled by seeding the shared [`RandomGridAtw`] and charged
+/// one round; then the `σ` source SPTs run concurrently under the
+/// random-delay scheduler; the preserver is the union of tree edges, known
+/// edge-locally (each vertex knows its parent edge per instance).
+///
+/// 1-restorability of the weight function is the entire correctness
+/// argument: for any failing edge, some `π(s, x) ∪ π(t, x)` is a
+/// replacement path, and both halves are tree paths of the overlay.
+///
+/// # Errors
+///
+/// Propagates [`crate::CongestionError`] (indicates a bug, not an input
+/// condition).
+pub fn distributed_1ft_subset_preserver(
+    g: &Graph,
+    sources: &[Vertex],
+    seed: u64,
+) -> Result<DistributedEdgeSet, crate::CongestionError> {
+    let scheme = RandomGridAtw::theorem20(g, seed).into_scheme();
+    let multi = scheduled_multi_spt(g, &scheme, sources, seed ^ 0xA5A5_5A5A)?;
+    let mut stats = multi.stats;
+    stats.rounds += 1; // the local weight-sampling exchange
+    Ok(DistributedEdgeSet { edges: multi.tree_edges, stats })
+}
+
+/// **Corollary 9(1)**: a distributed 1-FT +4 additive spanner.
+///
+/// Protocol: centers are sampled from shared randomness (free in the
+/// model); one round lets every vertex learn which neighbors are centers;
+/// clustering is then a purely local decision (keep 2 center edges if
+/// ≥ 2 center neighbors, else keep all incident edges); finally the
+/// distributed 1-FT `C × C` preserver of Lemma 36 is unioned in.
+///
+/// # Errors
+///
+/// Propagates [`crate::CongestionError`].
+///
+/// # Panics
+///
+/// Panics if `sigma` is zero or exceeds `n`.
+pub fn distributed_ft_spanner(
+    g: &Graph,
+    sigma: usize,
+    seed: u64,
+) -> Result<DistributedEdgeSet, crate::CongestionError> {
+    assert!(sigma >= 1 && sigma <= g.n(), "need 1 <= sigma <= n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<Vertex> = g.vertices().collect();
+    perm.shuffle(&mut rng);
+    let mut centers: Vec<Vertex> = perm.into_iter().take(sigma).collect();
+    centers.sort_unstable();
+    let mut is_center = vec![false; g.n()];
+    for &c in &centers {
+        is_center[c] = true;
+    }
+
+    // Local clustering (f = 1 ⇒ keep f + 1 = 2 center edges).
+    let mut keep = vec![false; g.m()];
+    for v in g.vertices() {
+        let center_edges: Vec<EdgeId> =
+            g.neighbors(v).filter(|&(u, _)| is_center[u]).map(|(_, e)| e).collect();
+        if center_edges.len() >= 2 {
+            for &e in center_edges.iter().take(2) {
+                keep[e] = true;
+            }
+        } else {
+            for (_, e) in g.neighbors(v) {
+                keep[e] = true;
+            }
+        }
+    }
+
+    let preserver = distributed_1ft_subset_preserver(g, &centers, seed ^ 0x0F0F_F0F0)?;
+    for &e in &preserver.edges {
+        keep[e] = true;
+    }
+    let edges: Vec<EdgeId> = (0..g.m()).filter(|&e| keep[e]).collect();
+    let mut stats = preserver.stats;
+    stats.rounds += 1; // the center-announcement round
+    Ok(DistributedEdgeSet { edges, stats })
+}
+
+/// The fully accounted Lemma 36 protocol: every round is paid for by an
+/// actual message-passing phase.
+///
+/// 1. the shared seed is **broadcast** from vertex 0 (`O(D)` rounds —
+///    the paper's "shared seed of `O(log² n)` bits");
+/// 2. weights are sampled locally and exchanged (1 round);
+/// 3. the `σ` scheduled SPTs run (`Õ(D + σ)` rounds);
+/// 4. the preserver size is aggregated by **convergecast** and the total
+///    broadcast back (`O(D)` rounds) so every vertex knows it.
+///
+/// Returns the edge set, the verified global edge count, and the summed
+/// round total.
+///
+/// # Errors
+///
+/// Propagates [`crate::CongestionError`].
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (the convergecast aggregate would
+/// be partial).
+pub fn distributed_1ft_preserver_full_protocol(
+    g: &Graph,
+    sources: &[Vertex],
+    seed: u64,
+) -> Result<(DistributedEdgeSet, u64), crate::CongestionError> {
+    // Phase 1: seed broadcast.
+    let bcast = crate::broadcast(g, 0, seed)?;
+    let shared_seed = bcast.received[0].expect("root knows its own seed");
+
+    // Phases 2–3: sampling + scheduled SPTs.
+    let preserver = distributed_1ft_subset_preserver(g, sources, shared_seed)?;
+
+    // Phase 4: per-vertex parent-edge counts, aggregated. Each non-source
+    // vertex owns one parent edge per instance; overlaps are global
+    // knowledge we charge to the aggregate (counting distinct edges
+    // distributedly needs only the per-vertex ownership since every
+    // preserver edge is some vertex's parent edge; we aggregate the
+    // deduplicated count by letting the edge's lower endpoint own it).
+    let mut owned = vec![0u64; g.n()];
+    for &e in &preserver.edges {
+        let (u, _) = g.endpoints(e);
+        owned[u] += 1;
+    }
+    let agg = crate::convergecast_sum(g, 0, &owned)?;
+    let feedback = crate::broadcast(g, 0, agg.total)?;
+
+    let mut stats = preserver.stats;
+    stats.rounds += bcast.stats.rounds + agg.stats.rounds + feedback.stats.rounds;
+    stats.total_messages +=
+        bcast.stats.total_messages + agg.stats.total_messages + feedback.stats.total_messages;
+    stats.max_message_bits = stats
+        .max_message_bits
+        .max(bcast.stats.max_message_bits)
+        .max(agg.stats.max_message_bits);
+    let edges = preserver.edges;
+    debug_assert_eq!(agg.total as usize, edges.len());
+    Ok((DistributedEdgeSet { edges, stats }, agg.total))
+}
+
+/// The round bounds of **Theorem 8** (log factors dropped), for the
+/// constructions whose \[30\]-machinery this reproduction black-boxes (see
+/// DESIGN.md substitution 5): `f = 1 → D + σ`, `f = 2 → D + √(σn)`,
+/// `f = 3 → D + n^{7/8}σ^{1/8} + σ^{5/4}n^{3/4}`.
+///
+/// # Panics
+///
+/// Panics if `f` is not in `1..=3`.
+pub fn theorem8_round_bound(n: usize, diameter: usize, sigma: usize, f: usize) -> f64 {
+    let (n, d, s) = (n as f64, diameter as f64, sigma as f64);
+    match f {
+        1 => d + s,
+        2 => d + (s * n).sqrt(),
+        3 => d + n.powf(7.0 / 8.0) * s.powf(1.0 / 8.0) + s.powf(5.0 / 4.0) * n.powf(3.0 / 4.0),
+        _ => panic!("Theorem 8 covers f in 1..=3, got {f}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_graph::{bfs, diameter, generators, FaultSet};
+
+    /// Checks that an edge set is a 1-FT S × S preserver by brute force.
+    fn assert_1ft_subset_preserver(g: &Graph, edges: &[EdgeId], sources: &[Vertex]) {
+        let h = g.edge_subgraph(edges.iter().copied());
+        for (e, u, v) in g.edges() {
+            let gf = FaultSet::single(e);
+            let hf: FaultSet = h.edge_between(u, v).into_iter().collect();
+            for &s in sources {
+                let truth = bfs(g, s, &gf);
+                let ours = bfs(&h, s, &hf);
+                for &t in sources {
+                    assert_eq!(truth.dist(t), ours.dist(t), "pair ({s},{t}) fault {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma36_is_a_true_preserver() {
+        let g = generators::connected_gnm(24, 55, 3);
+        let sources = [0, 8, 16];
+        let result = distributed_1ft_subset_preserver(&g, &sources, 5).unwrap();
+        assert!(result.edge_count() <= sources.len() * (g.n() - 1));
+        assert_1ft_subset_preserver(&g, &result.edges, &sources);
+    }
+
+    #[test]
+    fn lemma36_round_complexity_additive() {
+        let g = generators::torus(6, 6);
+        let sources: Vec<Vertex> = (0..6).map(|i| i * 5).collect();
+        let result = distributed_1ft_subset_preserver(&g, &sources, 7).unwrap();
+        let d = diameter(&g) as usize;
+        assert!(
+            result.stats.rounds < sources.len() * (d + 3),
+            "Õ(D + σ) should beat sequential σ·D"
+        );
+    }
+
+    #[test]
+    fn spanner_has_plus4_stretch_under_single_faults() {
+        let g = generators::connected_gnm(22, 60, 9);
+        let sp = distributed_ft_spanner(&g, 5, 11).unwrap();
+        let h = g.edge_subgraph(sp.edges.iter().copied());
+        for (e, u, v) in g.edges() {
+            let gf = FaultSet::single(e);
+            let hf: FaultSet = h.edge_between(u, v).into_iter().collect();
+            for s in g.vertices() {
+                let truth = bfs(&g, s, &gf);
+                let ours = bfs(&h, s, &hf);
+                for t in g.vertices() {
+                    match (truth.dist(t), ours.dist(t)) {
+                        (Some(a), Some(b)) => assert!(b <= a + 4, "({s},{t}) fault {e}"),
+                        (None, None) => {}
+                        other => panic!("connectivity mismatch {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spanner_sparsifies_dense_graphs() {
+        let n = 50;
+        let g = generators::connected_gnm(n, n * (n - 1) / 4, 2);
+        let sp = distributed_ft_spanner(&g, 7, 3).unwrap();
+        assert!(sp.edge_count() < g.m());
+    }
+
+    #[test]
+    fn full_protocol_accounts_every_phase() {
+        let g = generators::torus(5, 5);
+        let sources = [0, 6, 12, 18];
+        let (result, counted) =
+            distributed_1ft_preserver_full_protocol(&g, &sources, 3).unwrap();
+        assert_eq!(counted as usize, result.edge_count());
+        // Full protocol costs strictly more rounds than the bare one
+        // (seed broadcast + aggregation), but still O(D + sigma).
+        let bare = distributed_1ft_subset_preserver(&g, &sources, 3).unwrap();
+        assert!(result.stats.rounds > bare.stats.rounds);
+        let d = diameter(&g) as usize;
+        assert!(result.stats.rounds <= bare.stats.rounds + 3 * (d + 3) + 3);
+        // Same edge set either way (same shared seed).
+        assert_eq!(result.edges, bare.edges);
+    }
+
+    #[test]
+    fn round_formulas() {
+        assert_eq!(theorem8_round_bound(100, 10, 5, 1), 15.0);
+        let two = theorem8_round_bound(100, 10, 4, 2);
+        assert!((two - 30.0).abs() < 1e-9, "10 + sqrt(400) = 30, got {two}");
+        assert!(theorem8_round_bound(100, 10, 4, 3) > two);
+    }
+
+    #[test]
+    #[should_panic(expected = "covers f in 1..=3")]
+    fn round_formula_rejects_f4() {
+        let _ = theorem8_round_bound(10, 1, 1, 4);
+    }
+}

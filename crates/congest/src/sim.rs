@@ -1,0 +1,350 @@
+//! The synchronous message-passing engine with CONGEST bandwidth
+//! accounting.
+//!
+//! One [`Program`] instance per vertex; each round every *active* node
+//! (nonempty inbox or self-declared pending work) takes a step, reading
+//! the messages delivered this round and emitting messages to neighbors.
+//! Messages sent in round `r` are delivered in round `r + 1`. The engine
+//! enforces the CONGEST quota — at most one message per edge per
+//! direction per round — and records rounds, message counts, per-edge
+//! congestion, and maximum message width in bits.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rsp_graph::{Graph, Vertex};
+
+/// Sizing of messages in bits, for bandwidth accounting.
+///
+/// The CONGEST model allows `O(log n)` bits per message; implementations
+/// report their actual content width and the engine tracks the maximum.
+pub trait MsgSize {
+    /// Width of this message's content in bits.
+    fn bits(&self) -> usize;
+}
+
+/// Per-node state machine: the "processor on each vertex" of the model.
+pub trait Program<M> {
+    /// One synchronous round: consume `inbox` (messages delivered this
+    /// round, tagged with the sending neighbor) and emit messages.
+    fn step(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, M)], out: &mut Outbox<M>);
+
+    /// Whether this node may act spontaneously at `round` **or later**
+    /// without receiving a message (e.g. a delayed broadcast start or a
+    /// nonempty internal send queue). Nodes whose only trigger is an
+    /// incoming message return `false`; the engine halts when no inboxes
+    /// are nonempty and no node is pending.
+    fn pending(&self, round: usize) -> bool {
+        let _ = round;
+        false
+    }
+}
+
+/// Read-only per-node context handed to [`Program::step`].
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// This node's vertex id.
+    pub id: Vertex,
+    /// The current round number (0-based).
+    pub round: usize,
+    /// Neighbor vertex ids, sorted.
+    pub neighbors: &'a [Vertex],
+}
+
+/// Collector for a node's outgoing messages in one round.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<(Vertex, M)>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Queues a message to neighbor `to` (validated by the engine).
+    pub fn send(&mut self, to: Vertex, msg: M) {
+        self.msgs.push((to, msg));
+    }
+}
+
+/// Aggregate statistics of a completed run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Rounds executed until quiescence.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub total_messages: usize,
+    /// Maximum messages carried by any single edge (both directions,
+    /// whole run) — Lemma 34 promises `O(1)` for one SPT.
+    pub max_messages_per_edge: usize,
+    /// Maximum content width of any message, in bits — the model allows
+    /// `O(log n)`.
+    pub max_message_bits: usize,
+}
+
+/// A CONGEST bandwidth violation: two messages on the same directed edge
+/// in the same round, or a message to a non-neighbor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CongestionError {
+    /// Two messages crossed the same directed edge in one round.
+    EdgeOverload {
+        /// The round of the violation.
+        round: usize,
+        /// Sender.
+        from: Vertex,
+        /// Receiver.
+        to: Vertex,
+    },
+    /// A node addressed a message to a vertex it has no edge to.
+    NotANeighbor {
+        /// The round of the violation.
+        round: usize,
+        /// Sender.
+        from: Vertex,
+        /// Intended receiver.
+        to: Vertex,
+    },
+}
+
+impl fmt::Display for CongestionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestionError::EdgeOverload { round, from, to } => {
+                write!(f, "round {round}: edge ({from}, {to}) carried more than one message")
+            }
+            CongestionError::NotANeighbor { round, from, to } => {
+                write!(f, "round {round}: {from} sent to non-neighbor {to}")
+            }
+        }
+    }
+}
+
+impl Error for CongestionError {}
+
+/// The simulated network: a graph plus one program per vertex.
+///
+/// `P` is the per-node program type — CONGEST algorithms here are
+/// homogeneous (every vertex runs the same code), which keeps node state
+/// extractable after the run without downcasting.
+pub struct Network<'g, M, P> {
+    graph: &'g Graph,
+    programs: Vec<P>,
+    neighbor_lists: Vec<Vec<Vertex>>,
+    _msg: std::marker::PhantomData<M>,
+}
+
+impl<'g, M: Clone + MsgSize, P: Program<M>> Network<'g, M, P> {
+    /// Builds a network from one program per vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != g.n()`.
+    pub fn new(g: &'g Graph, programs: Vec<P>) -> Self {
+        assert_eq!(programs.len(), g.n(), "one program per vertex");
+        let neighbor_lists =
+            g.vertices().map(|u| g.neighbors(u).map(|(v, _)| v).collect()).collect();
+        Network { graph: g, programs, neighbor_lists, _msg: std::marker::PhantomData }
+    }
+
+    /// Runs synchronous rounds until quiescence (no messages in flight
+    /// and no node pending) or `max_rounds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CongestionError`] if any round violates the one
+    /// message per edge per direction quota.
+    pub fn run(&mut self, max_rounds: usize) -> Result<RunStats, CongestionError> {
+        let n = self.graph.n();
+        let mut inboxes: Vec<Vec<(Vertex, M)>> = vec![Vec::new(); n];
+        let mut stats = RunStats::default();
+        let mut edge_load: Vec<usize> = vec![0; self.graph.m()];
+
+        for round in 0..max_rounds {
+            let anyone_active = (0..n)
+                .any(|u| !inboxes[u].is_empty() || self.programs[u].pending(round));
+            if !anyone_active {
+                stats.rounds = round;
+                stats.max_messages_per_edge = edge_load.iter().copied().max().unwrap_or(0);
+                return Ok(stats);
+            }
+
+            // Step all active nodes against this round's inboxes.
+            let mut next_inboxes: Vec<Vec<(Vertex, M)>> = vec![Vec::new(); n];
+            let mut sent_this_round: HashMap<(Vertex, Vertex), ()> = HashMap::new();
+            for u in 0..n {
+                if inboxes[u].is_empty() && !self.programs[u].pending(round) {
+                    continue;
+                }
+                let inbox = std::mem::take(&mut inboxes[u]);
+                let ctx = NodeCtx { id: u, round, neighbors: &self.neighbor_lists[u] };
+                let mut out = Outbox::new();
+                self.programs[u].step(&ctx, &inbox, &mut out);
+                for (to, msg) in out.msgs {
+                    let Some(e) = self.graph.edge_between(u, to) else {
+                        return Err(CongestionError::NotANeighbor { round, from: u, to });
+                    };
+                    if sent_this_round.insert((u, to), ()).is_some() {
+                        return Err(CongestionError::EdgeOverload { round, from: u, to });
+                    }
+                    edge_load[e] += 1;
+                    stats.total_messages += 1;
+                    stats.max_message_bits = stats.max_message_bits.max(msg.bits());
+                    next_inboxes[to].push((u, msg));
+                }
+            }
+            inboxes = next_inboxes;
+        }
+        stats.rounds = max_rounds;
+        stats.max_messages_per_edge = edge_load.iter().copied().max().unwrap_or(0);
+        Ok(stats)
+    }
+
+    /// Consumes the network, returning the programs for state extraction.
+    pub fn into_programs(self) -> Vec<P> {
+        self.programs
+    }
+
+    /// Read access to a node's program.
+    pub fn program(&self, v: Vertex) -> &P {
+        &self.programs[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_graph::generators;
+
+    impl MsgSize for u32 {
+        fn bits(&self) -> usize {
+            32 - self.leading_zeros() as usize
+        }
+    }
+
+    /// Flood: source sends its id; everyone forwards the max seen once.
+    struct Flood {
+        is_source: bool,
+        best: u32,
+        announced: bool,
+    }
+
+    impl Program<u32> for Flood {
+        fn step(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u32)], out: &mut Outbox<u32>) {
+            for &(_, v) in inbox {
+                self.best = self.best.max(v);
+            }
+            if (self.is_source || !inbox.is_empty()) && !self.announced {
+                self.announced = true;
+                for &nb in ctx.neighbors {
+                    out.send(nb, self.best);
+                }
+            }
+        }
+
+        fn pending(&self, _round: usize) -> bool {
+            self.is_source && !self.announced
+        }
+    }
+
+    fn flood_net(g: &Graph, source: Vertex) -> Vec<Flood> {
+        g.vertices()
+            .map(|v| Flood { is_source: v == source, best: 0, announced: false })
+            .collect()
+    }
+
+    use rsp_graph::Graph;
+
+    #[test]
+    fn flood_terminates_in_diameter_rounds() {
+        let g = generators::path_graph(6);
+        let mut net = Network::new(&g, flood_net(&g, 0));
+        let stats = net.run(100).unwrap();
+        // 5 hops + the final quiet round.
+        assert!(stats.rounds <= 7, "rounds = {}", stats.rounds);
+        assert!(stats.total_messages > 0);
+        assert!(stats.max_messages_per_edge <= 2);
+    }
+
+    #[test]
+    fn quiescence_on_empty_network() {
+        let g = generators::cycle(4);
+        let progs: Vec<Flood> =
+            g.vertices().map(|_| Flood { is_source: false, best: 0, announced: false }).collect();
+        let mut net = Network::new(&g, progs);
+        let stats = net.run(10).unwrap();
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.total_messages, 0);
+    }
+
+    /// A rogue program that sends two messages on one edge in one round.
+    struct Rogue;
+    impl Program<u32> for Rogue {
+        fn step(&mut self, ctx: &NodeCtx<'_>, _inbox: &[(Vertex, u32)], out: &mut Outbox<u32>) {
+            if ctx.id == 0 && ctx.round == 0 {
+                out.send(ctx.neighbors[0], 1);
+                out.send(ctx.neighbors[0], 2);
+            }
+        }
+        fn pending(&self, round: usize) -> bool {
+            round == 0
+        }
+    }
+
+    #[test]
+    fn quota_violation_detected() {
+        let g = generators::cycle(3);
+        let progs: Vec<Rogue> = g.vertices().map(|_| Rogue).collect();
+        let mut net = Network::new(&g, progs);
+        let err = net.run(10).unwrap_err();
+        assert!(matches!(err, CongestionError::EdgeOverload { round: 0, from: 0, .. }));
+        assert!(err.to_string().contains("more than one message"));
+    }
+
+    /// A program that addresses a non-neighbor.
+    struct Misaddressed;
+    impl Program<u32> for Misaddressed {
+        fn step(&mut self, ctx: &NodeCtx<'_>, _inbox: &[(Vertex, u32)], out: &mut Outbox<u32>) {
+            if ctx.id == 0 && ctx.round == 0 {
+                out.send(2, 7); // 0 and 2 are opposite corners of P4
+            }
+        }
+        fn pending(&self, round: usize) -> bool {
+            round == 0
+        }
+    }
+
+    #[test]
+    fn non_neighbor_detected() {
+        let g = generators::path_graph(4);
+        let progs: Vec<Misaddressed> = g.vertices().map(|_| Misaddressed).collect();
+        let mut net = Network::new(&g, progs);
+        let err = net.run(10).unwrap_err();
+        assert_eq!(err, CongestionError::NotANeighbor { round: 0, from: 0, to: 2 });
+    }
+
+    #[test]
+    fn max_rounds_cap_respected() {
+        /// Ping-pong forever between 0 and 1.
+        struct PingPong;
+        impl Program<u32> for PingPong {
+            fn step(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u32)], out: &mut Outbox<u32>) {
+                if ctx.id == 0 && ctx.round == 0 {
+                    out.send(1, 1);
+                }
+                for &(from, v) in inbox {
+                    out.send(from, v + 1);
+                }
+            }
+            fn pending(&self, round: usize) -> bool {
+                round == 0
+            }
+        }
+        let g = generators::path_graph(2);
+        let progs: Vec<PingPong> = g.vertices().map(|_| PingPong).collect();
+        let mut net = Network::new(&g, progs);
+        let stats = net.run(25).unwrap();
+        assert_eq!(stats.rounds, 25, "capped, not quiescent");
+    }
+}

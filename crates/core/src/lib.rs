@@ -1,0 +1,81 @@
+//! Restorable shortest path tiebreaking for edge-faulty graphs.
+//!
+//! This crate implements the primary contribution of Bodwin & Parter,
+//! *Restorable Shortest Path Tiebreaking for Edge-Faulty Graphs* (PODC
+//! 2021): selecting **one** shortest path per *ordered* vertex pair so that
+//! replacement paths under edge failures can always be rebuilt by
+//! concatenating two selected paths (Theorem 2).
+//!
+//! # The construction
+//!
+//! An **antisymmetric tiebreaking weight (ATW) function** (Definition 18)
+//! assigns each directed edge a tiny perturbation `r(u, v) = −r(v, u)`; the
+//! reweighted graph `G*` has edge weights `1 + r(u, v)` and — when `r` is
+//! `f`-fault tiebreaking — *unique* shortest paths in every `G* \ F`. The
+//! induced replacement-path tiebreaking scheme `π(s, t | F)` is then
+//! simultaneously **consistent** (Definition 14), **stable** (Definition 16)
+//! and **f-restorable** (Definition 17) — Theorem 19.
+//!
+//! Three ATW constructions are provided, mirroring the paper:
+//!
+//! * [`RandomGridAtw::theorem20`] — fine uniform grid standing in for the
+//!   real-valued `[−ε, ε]` sampling of Theorem 20 (exact integer arithmetic
+//!   replaces the real-RAM model);
+//! * [`RandomGridAtw::corollary22`] — the isolation-lemma grid of
+//!   Corollary 22, with `O(f log n)` bits per weight;
+//! * [`GeometricAtw`] (Theorem 23) — deterministic weights
+//!   `sign(u−v)·C^{−i}/(2n)` with `O(|E|)` bits per weight, on exact
+//!   [`rsp_arith::BigInt`] arithmetic.
+//!
+//! # What restorability buys
+//!
+//! [`restore_by_concatenation`] rebuilds a replacement path for any fault
+//! set from the *already stored* paths — the MPLS-style recovery the paper
+//! is motivated by. With an arbitrary consistent scheme (e.g.
+//! [`BfsScheme`]) this fails on real instances (Figure 1 of the paper);
+//! with a restorable scheme it always succeeds, which
+//! [`verify::verify_restorability`] checks exhaustively.
+//!
+//! The impossibility half (Theorem 37: no *symmetric* scheme can be
+//! 1-restorable, already on the 4-cycle) is reproduced in the [`c4`] module
+//! by exhaustive enumeration of all symmetric schemes.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_core::{RandomGridAtw, Rpts, restore_by_concatenation};
+//! use rsp_graph::{generators, FaultSet};
+//!
+//! // Build a restorable scheme on the 4-cycle of Theorem 37.
+//! let g = generators::cycle(4);
+//! let scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
+//!
+//! // Fail any edge: restoration by concatenation always succeeds.
+//! for (e, _, _) in scheme.graph().edges() {
+//!     for s in scheme.graph().vertices() {
+//!         for t in scheme.graph().vertices() {
+//!             let restored = restore_by_concatenation(&scheme, s, t, &FaultSet::single(e));
+//!             assert!(restored.is_some());
+//!         }
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c4;
+mod geometric_atw;
+mod naive;
+mod random_atw;
+mod restore;
+mod scheme;
+pub mod verify;
+
+pub use geometric_atw::GeometricAtw;
+pub use naive::{BfsOrder, BfsScheme};
+pub use random_atw::RandomGridAtw;
+pub use restore::{
+    restore_by_concatenation, restore_single_fault, restoration_stats, RestorationStats,
+};
+pub use scheme::{ExactScheme, Rpts};

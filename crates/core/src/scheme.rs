@@ -1,0 +1,233 @@
+//! Replacement-path tiebreaking schemes (Definition 15) and the
+//! weight-induced scheme of Theorem 19.
+
+use rsp_arith::PathCost;
+use rsp_graph::{dijkstra, BfsTree, EdgeId, FaultSet, Graph, Path, Vertex, WeightedSpt};
+
+/// An `f`-replacement-path tiebreaking scheme (Definition 15): a function
+/// `π(s, t | F)` selecting one shortest `s ⇝ t` path in `G \ F` per ordered
+/// pair and fault set.
+///
+/// Implementations in this workspace are all *tree-structured*: for a fixed
+/// source and fault set the selected paths to all targets form a tree, so
+/// the primary operation is [`Rpts::tree_from`] and `π(s, t | F)` is the
+/// tree path. (This holds automatically for weight-induced schemes, whose
+/// selected paths are unique shortest paths in `G* \ F`, and for the
+/// BFS-order baseline.)
+///
+/// Note that `π(s, · | F)` and `π(t, · | F)` are **independent selections**
+/// — the asymmetry that Theorem 2 shows is essential for restorability.
+pub trait Rpts {
+    /// The underlying fault-free graph `G`.
+    fn graph(&self) -> &Graph;
+
+    /// The selected shortest-path tree `π(s, · | F)` in `G \ F`.
+    fn tree_from(&self, s: Vertex, faults: &FaultSet) -> BfsTree;
+
+    /// The selected path `π(s, t | F)`, or `None` if `t` is unreachable
+    /// in `G \ F`.
+    ///
+    /// The default computes a full tree; callers iterating over many targets
+    /// for one `(s, F)` should call [`Rpts::tree_from`] once instead.
+    fn path(&self, s: Vertex, t: Vertex, faults: &FaultSet) -> Option<Path> {
+        self.tree_from(s, faults).path_to(t)
+    }
+
+    /// Unweighted distance of the selected path (equals `dist_{G\F}(s, t)`
+    /// for a valid scheme).
+    fn dist(&self, s: Vertex, t: Vertex, faults: &FaultSet) -> Option<u32> {
+        self.tree_from(s, faults).dist(t)
+    }
+}
+
+/// The scheme induced by exact per-direction edge costs in `G*` — the
+/// weight-generated RPTS of Theorem 19.
+///
+/// Holds the graph plus, for every edge `e = (u, v)` (canonical `u < v`),
+/// the exact scaled costs of traversing `u → v` (`fwd`) and `v → u`
+/// (`bwd`). For an antisymmetric tiebreaking weight function these satisfy
+/// `fwd[e] + bwd[e] = 2·unit` where `unit` is the scaled weight of an
+/// unperturbed edge.
+///
+/// Constructed by [`crate::RandomGridAtw`] and [`crate::GeometricAtw`], or
+/// directly via [`ExactScheme::from_costs`] (used by the lower-bound
+/// machinery, which needs a specific *bad* weight function).
+#[derive(Clone, Debug)]
+pub struct ExactScheme<C> {
+    graph: Graph,
+    fwd: Vec<C>,
+    bwd: Vec<C>,
+    unit: C,
+    bits_per_weight: usize,
+}
+
+impl<C: PathCost> ExactScheme<C> {
+    /// Builds a scheme from explicit per-direction edge costs.
+    ///
+    /// `unit` is the scaled cost of an unperturbed unit edge and
+    /// `bits_per_weight` the storage the perturbations need (reported by
+    /// experiment E10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost vectors are not of length `g.m()`.
+    pub fn from_costs(
+        graph: Graph,
+        fwd: Vec<C>,
+        bwd: Vec<C>,
+        unit: C,
+        bits_per_weight: usize,
+    ) -> Self {
+        assert_eq!(fwd.len(), graph.m(), "one forward cost per edge");
+        assert_eq!(bwd.len(), graph.m(), "one backward cost per edge");
+        ExactScheme { graph, fwd, bwd, unit, bits_per_weight }
+    }
+
+    /// The exact cost of traversing edge `e` from `from` to its other
+    /// endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of `e`.
+    pub fn edge_cost(&self, e: EdgeId, from: Vertex, to: Vertex) -> C {
+        let (u, v) = self.graph.endpoints(e);
+        if (from, to) == (u, v) {
+            self.fwd[e].clone()
+        } else {
+            assert_eq!((from, to), (v, u), "({from}, {to}) does not match edge {e}");
+            self.bwd[e].clone()
+        }
+    }
+
+    /// The scaled cost of one unperturbed unit edge.
+    pub fn unit(&self) -> &C {
+        &self.unit
+    }
+
+    /// Bits needed to store one perturbation value (experiment E10).
+    pub fn bits_per_weight(&self) -> usize {
+        self.bits_per_weight
+    }
+
+    /// Checks the antisymmetry invariant `fwd[e] + bwd[e] = 2·unit` on
+    /// every edge.
+    pub fn is_antisymmetric(&self) -> bool {
+        let two_units = self.unit.plus(&self.unit);
+        (0..self.graph.m()).all(|e| self.fwd[e].plus(&self.bwd[e]) == two_units)
+    }
+
+    /// The full weighted shortest-path tree from `s` in `G* \ F`.
+    ///
+    /// For a valid tiebreaking weight function
+    /// [`WeightedSpt::ties_detected`] is `false` and the tree's paths are
+    /// the unique minimum-cost — hence canonical — shortest paths.
+    pub fn spt(&self, s: Vertex, faults: &FaultSet) -> WeightedSpt<C> {
+        dijkstra(&self.graph, s, faults, |e, from, to| self.edge_cost(e, from, to))
+    }
+
+    /// The exact cost of an explicit path under this scheme's weights.
+    ///
+    /// Returns `None` if the path is not valid in the graph.
+    pub fn cost_of_path(&self, p: &Path) -> Option<C> {
+        let mut total = C::zero();
+        for (u, v) in p.steps() {
+            let e = self.graph.edge_between(u, v)?;
+            total = total.plus(&self.edge_cost(e, u, v));
+        }
+        Some(total)
+    }
+
+    /// The reverse-table path `π̄(s, t | F) := reverse(π(t, s | F))`.
+    ///
+    /// The MPLS deployment sketched in Section 1 carries two routing
+    /// tables: one for `π` and one for its reverse. This accessor is the
+    /// second table.
+    pub fn reverse_path(&self, s: Vertex, t: Vertex, faults: &FaultSet) -> Option<Path> {
+        self.path(t, s, faults).map(|p| p.reversed())
+    }
+}
+
+impl<C: PathCost> Rpts for ExactScheme<C> {
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn tree_from(&self, s: Vertex, faults: &FaultSet) -> BfsTree {
+        self.spt(s, faults).to_bfs_tree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_graph::generators;
+
+    /// A hand-built antisymmetric scheme on the 4-cycle: unit 1000, scaled
+    /// perturbations +1/-1 alternating so paths are unique.
+    fn tiny_scheme() -> ExactScheme<u128> {
+        let g = generators::cycle(4);
+        let m = g.m();
+        let fwd: Vec<u128> = (0..m).map(|e| 1000 + (e as u128 % 3) + 1).collect();
+        let bwd: Vec<u128> = fwd.iter().map(|f| 2000 - f).collect();
+        ExactScheme::from_costs(g, fwd, bwd, 1000, 2)
+    }
+
+    #[test]
+    fn antisymmetry_invariant() {
+        assert!(tiny_scheme().is_antisymmetric());
+    }
+
+    #[test]
+    fn antisymmetry_violation_detected() {
+        let g = generators::cycle(3);
+        let s =
+            ExactScheme::from_costs(g, vec![10u64, 10, 10], vec![10u64, 10, 11], 10u64, 1);
+        assert!(!s.is_antisymmetric());
+    }
+
+    #[test]
+    fn edge_cost_orientation() {
+        let s = tiny_scheme();
+        let (u, v) = s.graph().endpoints(0);
+        let f = s.edge_cost(0, u, v);
+        let b = s.edge_cost(0, v, u);
+        assert_eq!(f + b, 2000);
+    }
+
+    #[test]
+    fn cost_of_path_matches_spt() {
+        let s = tiny_scheme();
+        let spt = s.spt(0, &FaultSet::empty());
+        for t in s.graph().vertices() {
+            let p = spt.path_to(t).unwrap();
+            assert_eq!(s.cost_of_path(&p).as_ref(), spt.cost(t));
+        }
+    }
+
+    #[test]
+    fn cost_of_invalid_path_is_none() {
+        let s = tiny_scheme();
+        assert!(s.cost_of_path(&Path::new(vec![0, 2])).is_none());
+    }
+
+    #[test]
+    fn reverse_path_reverses() {
+        let s = tiny_scheme();
+        let p = s.path(0, 2, &FaultSet::empty()).unwrap();
+        let q = s.reverse_path(2, 0, &FaultSet::empty()).unwrap();
+        assert_eq!(p.reversed(), q);
+    }
+
+    #[test]
+    fn tree_from_is_bfs_consistent() {
+        let s = tiny_scheme();
+        let tree = s.tree_from(1, &FaultSet::empty());
+        for t in s.graph().vertices() {
+            assert_eq!(
+                tree.dist(t),
+                rsp_graph::bfs(s.graph(), 1, &FaultSet::empty()).dist(t),
+                "perturbed shortest paths must stay shortest"
+            );
+        }
+    }
+}

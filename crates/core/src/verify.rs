@@ -1,0 +1,410 @@
+//! Property verifiers for replacement-path tiebreaking schemes.
+//!
+//! These check, instance by instance, the three properties Theorem 19
+//! guarantees for weight-induced schemes — consistency (Definition 14),
+//! stability (Definition 16), and `f`-restorability (Definition 17) — plus
+//! the unique-shortest-path property of the weight function itself
+//! (Definition 18). They power experiment E2 and the property tests across
+//! the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsp_graph::{bfs, connected_pair, FaultSet, Path, Vertex};
+
+use crate::restore::restore_by_concatenation;
+use crate::scheme::Rpts;
+
+/// A witness that a scheme violates one of the paper's properties.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// `π(u, v | F)` is not the contiguous subpath of `π(s, t | F)`
+    /// between `u` and `v` (Definition 14).
+    Inconsistent {
+        /// Endpoints of the outer path.
+        s: Vertex,
+        /// Endpoints of the outer path.
+        t: Vertex,
+        /// Endpoints of the inner pair.
+        u: Vertex,
+        /// Endpoints of the inner pair.
+        v: Vertex,
+        /// The fault set under which the violation occurred.
+        faults: FaultSet,
+    },
+    /// `π(s, t | F) ≠ π(s, t | F ∪ {e})` although `e ∉ π(s, t | F)`
+    /// (Definition 16).
+    Unstable {
+        /// Path endpoints.
+        s: Vertex,
+        /// Path endpoints.
+        t: Vertex,
+        /// The base fault set.
+        faults: FaultSet,
+        /// The added fault not on the selected path.
+        extra: rsp_graph::EdgeId,
+    },
+    /// No midpoint/subset concatenation restores `(s, t)` under `F`
+    /// (Definition 17).
+    NotRestorable {
+        /// Pair that could not be restored.
+        s: Vertex,
+        /// Pair that could not be restored.
+        t: Vertex,
+        /// The fault set.
+        faults: FaultSet,
+    },
+    /// The selected path is not a shortest path of `G \ F`, or a tie was
+    /// observed (Definition 18's requirements on the weight function).
+    NotShortest {
+        /// Pair whose selected path is wrong.
+        s: Vertex,
+        /// Pair whose selected path is wrong.
+        t: Vertex,
+        /// The fault set.
+        faults: FaultSet,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Inconsistent { s, t, u, v, faults } => write!(
+                f,
+                "inconsistent: π({u}, {v} | {faults}) is not a subpath of π({s}, {t} | {faults})"
+            ),
+            Violation::Unstable { s, t, faults, extra } => write!(
+                f,
+                "unstable: π({s}, {t} | {faults}) changed when unrelated edge {extra} failed"
+            ),
+            Violation::NotRestorable { s, t, faults } => {
+                write!(f, "not restorable: pair ({s}, {t}) under faults {faults}")
+            }
+            Violation::NotShortest { s, t, faults } => {
+                write!(f, "selected path for ({s}, {t}) under {faults} is not shortest")
+            }
+        }
+    }
+}
+
+impl Error for Violation {}
+
+/// Checks symmetry (Definition 13) under one fault set: `π(s, t | F)` must
+/// equal `π(t, s | F)` as an undirected path, for all pairs.
+///
+/// ATW-induced schemes are deliberately *asymmetric* (that is the point of
+/// Theorem 2), so this returns the number of asymmetric pairs rather than
+/// an error: `0` means the scheme is symmetric under `faults`.
+pub fn count_asymmetric_pairs<S: Rpts>(scheme: &S, faults: &FaultSet) -> usize {
+    let g = scheme.graph();
+    let trees: Vec<_> = g.vertices().map(|s| scheme.tree_from(s, faults)).collect();
+    let mut count = 0;
+    for s in g.vertices() {
+        for t in (s + 1)..g.n() {
+            let fwd = trees[s].path_to(t);
+            let bwd = trees[t].path_to(s).map(|p| p.reversed());
+            if fwd != bwd {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Checks that every selected path is a shortest path of `G \ F`, for each
+/// given fault set.
+///
+/// # Errors
+///
+/// Returns the first [`Violation::NotShortest`] found.
+pub fn verify_shortest<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(), Violation> {
+    let g = scheme.graph();
+    for faults in fault_sets {
+        for s in g.vertices() {
+            let tree = scheme.tree_from(s, faults);
+            let truth = bfs(g, s, faults);
+            for t in g.vertices() {
+                if tree.dist(t) != truth.dist(t) {
+                    return Err(Violation::NotShortest { s, t, faults: faults.clone() });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively checks consistency (Definition 14) under one fault set:
+/// for all `s, t` and all `u` preceding `v` on `π(s, t | F)`, the selected
+/// `π(u, v | F)` must be the contiguous subpath.
+///
+/// `O(n² · len³)` — intended for the small graphs of the test suite; use
+/// [`verify_consistency_sampled`] at scale.
+///
+/// # Errors
+///
+/// Returns the first [`Violation::Inconsistent`] found.
+pub fn verify_consistency<S: Rpts>(scheme: &S, faults: &FaultSet) -> Result<(), Violation> {
+    let g = scheme.graph();
+    let trees: Vec<_> = g.vertices().map(|s| scheme.tree_from(s, faults)).collect();
+    for s in g.vertices() {
+        for t in g.vertices() {
+            let Some(p) = trees[s].path_to(t) else { continue };
+            check_path_consistency(scheme, &p, &trees, s, t, faults)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_path_consistency<S: Rpts>(
+    _scheme: &S,
+    p: &Path,
+    trees: &[rsp_graph::BfsTree],
+    s: Vertex,
+    t: Vertex,
+    faults: &FaultSet,
+) -> Result<(), Violation> {
+    let verts = p.vertices();
+    for i in 0..verts.len() {
+        for j in (i + 1)..verts.len() {
+            let (u, v) = (verts[i], verts[j]);
+            let inner = trees[u].path_to(v).expect("subpath endpoints are connected");
+            if inner.vertices() != &verts[i..=j] {
+                return Err(Violation::Inconsistent { s, t, u, v, faults: faults.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Randomly sampled consistency check for larger graphs.
+///
+/// Samples `samples` ordered pairs and checks all subpairs of each
+/// selected path.
+///
+/// # Errors
+///
+/// Returns the first [`Violation::Inconsistent`] found.
+pub fn verify_consistency_sampled<S: Rpts>(
+    scheme: &S,
+    faults: &FaultSet,
+    samples: usize,
+    seed: u64,
+) -> Result<(), Violation> {
+    let g = scheme.graph();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..samples {
+        let s = rng.random_range(0..g.n());
+        let t = rng.random_range(0..g.n());
+        let tree_s = scheme.tree_from(s, faults);
+        let Some(p) = tree_s.path_to(t) else { continue };
+        let verts = p.vertices().to_vec();
+        // Check each subpair against its own tree (computing only the
+        // trees we need).
+        for i in 0..verts.len() {
+            let tree_u = scheme.tree_from(verts[i], faults);
+            for j in (i + 1)..verts.len() {
+                let inner = tree_u.path_to(verts[j]).expect("connected");
+                if inner.vertices() != &verts[i..=j] {
+                    return Err(Violation::Inconsistent {
+                        s,
+                        t,
+                        u: verts[i],
+                        v: verts[j],
+                        faults: faults.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks stability (Definition 16): for each base fault set `F` with
+/// `|F| ≤ f − 1` drawn from `fault_sets` and each extra edge `e ∉
+/// π(s, t | F)`, the selection must not change when `e` fails.
+///
+/// Exhaustive over pairs; the extra edge ranges over all non-path edges.
+///
+/// # Errors
+///
+/// Returns the first [`Violation::Unstable`] found.
+pub fn verify_stability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(), Violation> {
+    let g = scheme.graph();
+    for faults in fault_sets {
+        for s in g.vertices() {
+            let tree = scheme.tree_from(s, faults);
+            for t in g.vertices() {
+                let Some(p) = tree.path_to(t) else { continue };
+                for (e, _, _) in g.edges() {
+                    if faults.contains(e) || p.uses_edge(g, e) {
+                        continue;
+                    }
+                    let bigger = faults.with(e);
+                    let p2 = scheme.path(s, t, &bigger);
+                    if p2.as_ref() != Some(&p) {
+                        return Err(Violation::Unstable {
+                            s,
+                            t,
+                            faults: faults.clone(),
+                            extra: e,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively checks `f`-restorability (Definition 17) for all ordered
+/// pairs and all fault sets of size exactly `f` drawn from `fault_sets`.
+///
+/// # Errors
+///
+/// Returns the first [`Violation::NotRestorable`] found.
+pub fn verify_restorability<S: Rpts>(
+    scheme: &S,
+    fault_sets: &[FaultSet],
+) -> Result<(), Violation> {
+    let g = scheme.graph();
+    for faults in fault_sets {
+        if faults.is_empty() {
+            continue;
+        }
+        for s in g.vertices() {
+            for t in g.vertices() {
+                if s == t || !connected_pair(g, s, t, faults) {
+                    continue;
+                }
+                if restore_by_concatenation(scheme, s, t, faults).is_none() {
+                    return Err(Violation::NotRestorable { s, t, faults: faults.clone() });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// All fault sets of size exactly `k` over the graph's edges.
+///
+/// Combinatorial — intended for the small exhaustive experiments
+/// (`k ≤ 3`, small `m`).
+pub fn all_fault_sets(m: usize, k: usize) -> Vec<FaultSet> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(start: usize, m: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<FaultSet>) {
+        if cur.len() == k {
+            out.push(FaultSet::from_edges(cur.iter().copied()));
+            return;
+        }
+        for e in start..m {
+            cur.push(e);
+            rec(e + 1, m, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, m, k, &mut cur, &mut out);
+    out
+}
+
+/// `count` random fault sets of size `k`, for sampled verification at scale.
+pub fn sample_fault_sets(m: usize, k: usize, count: usize, seed: u64) -> Vec<FaultSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut edges = Vec::with_capacity(k);
+            while edges.len() < k.min(m) {
+                let e = rng.random_range(0..m);
+                if !edges.contains(&e) {
+                    edges.push(e);
+                }
+            }
+            FaultSet::from_edges(edges)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometric_atw::GeometricAtw;
+    use crate::random_atw::RandomGridAtw;
+    use rsp_graph::generators;
+
+    #[test]
+    fn all_fault_sets_counts() {
+        assert_eq!(all_fault_sets(5, 1).len(), 5);
+        assert_eq!(all_fault_sets(5, 2).len(), 10);
+        assert_eq!(all_fault_sets(5, 3).len(), 10);
+        assert_eq!(all_fault_sets(3, 0), vec![FaultSet::empty()]);
+    }
+
+    #[test]
+    fn sampled_fault_sets_have_right_size() {
+        for f in sample_fault_sets(20, 3, 10, 1) {
+            assert_eq!(f.len(), 3);
+        }
+    }
+
+    #[test]
+    fn atw_scheme_passes_everything_on_c4() {
+        // Theorem 19 end-to-end on the Theorem 37 counterexample graph.
+        let g = generators::cycle(4);
+        let scheme = RandomGridAtw::theorem20(&g, 5).into_scheme();
+        let singles = all_fault_sets(g.m(), 1);
+        let mut with_empty = vec![FaultSet::empty()];
+        with_empty.extend(singles.clone());
+
+        verify_shortest(&scheme, &with_empty).unwrap();
+        verify_consistency(&scheme, &FaultSet::empty()).unwrap();
+        for f in &singles {
+            verify_consistency(&scheme, f).unwrap();
+        }
+        verify_stability(&scheme, &[FaultSet::empty()]).unwrap();
+        verify_restorability(&scheme, &singles).unwrap();
+    }
+
+    #[test]
+    fn geometric_scheme_passes_on_grid() {
+        let g = generators::grid(3, 3);
+        let scheme = GeometricAtw::new(&g).into_scheme();
+        verify_shortest(&scheme, &[FaultSet::empty()]).unwrap();
+        verify_consistency(&scheme, &FaultSet::empty()).unwrap();
+        verify_stability(&scheme, &[FaultSet::empty()]).unwrap();
+        verify_restorability(&scheme, &all_fault_sets(g.m(), 1)).unwrap();
+    }
+
+    #[test]
+    fn two_fault_restorability_small() {
+        let g = generators::cycle(5);
+        let scheme = RandomGridAtw::theorem20(&g, 6).into_scheme();
+        verify_restorability(&scheme, &all_fault_sets(g.m(), 2)).unwrap();
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::NotRestorable { s: 1, t: 2, faults: FaultSet::single(3) };
+        assert_eq!(v.to_string(), "not restorable: pair (1, 2) under faults {3}");
+    }
+
+    #[test]
+    fn atw_schemes_are_genuinely_asymmetric_on_tie_rich_graphs() {
+        // Theorem 2's whole point: the selection uses its freedom to pick
+        // different s⇝t and t⇝s paths. On a grid the perturbation almost
+        // surely exercises that freedom somewhere.
+        let g = rsp_graph::generators::grid(4, 4);
+        let scheme = RandomGridAtw::theorem20(&g, 3).into_scheme();
+        assert!(count_asymmetric_pairs(&scheme, &FaultSet::empty()) > 0);
+    }
+
+    #[test]
+    fn unique_paths_graphs_are_symmetric() {
+        // With unique shortest paths there is no freedom: forward and
+        // backward selections coincide.
+        let g = rsp_graph::generators::path_graph(6);
+        let scheme = RandomGridAtw::theorem20(&g, 4).into_scheme();
+        assert_eq!(count_asymmetric_pairs(&scheme, &FaultSet::empty()), 0);
+    }
+}

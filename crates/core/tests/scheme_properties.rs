@@ -1,0 +1,101 @@
+//! Property tests for the tiebreaking schemes: the Theorem 19 guarantees
+//! as universally quantified properties over random graphs and seeds.
+
+use proptest::prelude::*;
+use rsp_core::verify::{
+    sample_fault_sets, verify_consistency_sampled, verify_shortest, verify_stability,
+};
+use rsp_core::{GeometricAtw, RandomGridAtw, Rpts};
+use rsp_graph::{generators, FaultSet};
+
+fn params() -> impl Strategy<Value = (usize, usize, u64, u64)> {
+    (5usize..=20, 0usize..=3, any::<u64>(), any::<u64>()).prop_map(
+        |(n, density, gseed, wseed)| {
+            let m = ((n - 1) + density * n / 2).min(n * (n - 1) / 2);
+            (n, m, gseed, wseed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Antisymmetry is structural: fwd + bwd = 2·unit on every edge, for
+    /// every graph and seed.
+    #[test]
+    fn grid_atw_is_antisymmetric((n, m, gseed, wseed) in params()) {
+        let g = generators::connected_gnm(n, m, gseed);
+        let scheme = RandomGridAtw::theorem20(&g, wseed).into_scheme();
+        prop_assert!(scheme.is_antisymmetric());
+        let c22 = RandomGridAtw::corollary22(&g, 2, 1, wseed).into_scheme();
+        prop_assert!(c22.is_antisymmetric());
+    }
+
+    /// Selected paths are shortest under the empty fault set and a
+    /// sampled fault set (Definition 18's tiebreaking requirement).
+    #[test]
+    fn selected_paths_shortest((n, m, gseed, wseed) in params()) {
+        let g = generators::connected_gnm(n, m, gseed);
+        let scheme = RandomGridAtw::theorem20(&g, wseed).into_scheme();
+        let mut fs = vec![FaultSet::empty()];
+        fs.extend(sample_fault_sets(g.m(), 1, 3, wseed ^ 1));
+        fs.extend(sample_fault_sets(g.m(), 2, 2, wseed ^ 2));
+        prop_assert!(verify_shortest(&scheme, &fs).is_ok());
+    }
+
+    /// Consistency on sampled pairs (Definition 14).
+    #[test]
+    fn consistency_sampled((n, m, gseed, wseed) in params()) {
+        let g = generators::connected_gnm(n, m, gseed);
+        let scheme = RandomGridAtw::theorem20(&g, wseed).into_scheme();
+        prop_assert!(
+            verify_consistency_sampled(&scheme, &FaultSet::empty(), 10, wseed).is_ok()
+        );
+        // And under one fault.
+        let f = sample_fault_sets(g.m(), 1, 1, wseed)[0].clone();
+        prop_assert!(verify_consistency_sampled(&scheme, &f, 6, wseed ^ 9).is_ok());
+    }
+
+    /// Stability (Definition 16) under the empty base fault set.
+    #[test]
+    fn stability_holds((n, m, gseed, wseed) in params()) {
+        let g = generators::connected_gnm(n, m, gseed);
+        let scheme = RandomGridAtw::theorem20(&g, wseed).into_scheme();
+        prop_assert!(verify_stability(&scheme, &[FaultSet::empty()]).is_ok());
+    }
+
+    /// The scheme is deterministic in (graph, seed) and its paths match
+    /// cost recomputation.
+    #[test]
+    fn scheme_determinism((n, m, gseed, wseed) in params()) {
+        let g = generators::connected_gnm(n, m, gseed);
+        let a = RandomGridAtw::theorem20(&g, wseed).into_scheme();
+        let b = RandomGridAtw::theorem20(&g, wseed).into_scheme();
+        let empty = FaultSet::empty();
+        for t in g.vertices() {
+            let pa = a.path(0, t, &empty);
+            prop_assert_eq!(&pa, &b.path(0, t, &empty));
+            if let Some(p) = pa {
+                let spt = a.spt(0, &empty);
+                let recomputed = a.cost_of_path(&p);
+                prop_assert_eq!(recomputed.as_ref(), spt.cost(t));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The deterministic geometric scheme has NO ties, ever, on any
+    /// sampled instance — its whole point.
+    #[test]
+    fn geometric_never_ties((n, gseed) in (5usize..=12, any::<u64>())) {
+        let g = generators::connected_gnm(n, (n - 1) + n / 2, gseed);
+        let scheme = GeometricAtw::new(&g).into_scheme();
+        for s in g.vertices() {
+            prop_assert!(!scheme.spt(s, &FaultSet::empty()).ties_detected());
+        }
+        prop_assert!(scheme.is_antisymmetric());
+    }
+}

@@ -1,0 +1,382 @@
+//! The directed graph substrate.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// An arc identifier: an index in `0..m`.
+pub type ArcId = usize;
+
+/// Error raised when constructing an invalid directed graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// An endpoint was `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: usize,
+        /// Number of vertices.
+        n: usize,
+    },
+    /// A self-loop `u → u`.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// The same arc appeared twice.
+    DuplicateArc {
+        /// Tail of the duplicated arc.
+        from: usize,
+        /// Head of the duplicated arc.
+        to: usize,
+    },
+    /// The arcs contain a directed cycle (only raised by
+    /// [`Digraph::require_acyclic`]).
+    NotAcyclic,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for {n} vertices")
+            }
+            DagError::SelfLoop { vertex } => write!(f, "self-loop at {vertex}"),
+            DagError::DuplicateArc { from, to } => write!(f, "duplicate arc ({from}, {to})"),
+            DagError::NotAcyclic => write!(f, "arcs contain a directed cycle"),
+        }
+    }
+}
+
+impl Error for DagError {}
+
+/// A simple directed graph in CSR form (out- and in-adjacency).
+///
+/// # Examples
+///
+/// ```
+/// use rsp_dag::Digraph;
+///
+/// let d = Digraph::from_arcs(3, [(0, 1), (1, 2), (0, 2)])?;
+/// assert_eq!(d.out_degree(0), 2);
+/// assert!(d.topological_order().is_some());
+/// # Ok::<(), rsp_dag::DagError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Digraph {
+    n: usize,
+    arcs: Vec<(usize, usize)>,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<usize>,
+    out_arc_ids: Vec<ArcId>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<usize>,
+    in_arc_ids: Vec<ArcId>,
+}
+
+impl Digraph {
+    /// Builds a digraph from arcs `(from, to)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError`] on out-of-range endpoints, self-loops, or
+    /// duplicate arcs (antiparallel arcs are allowed — acyclicity is a
+    /// separate check).
+    pub fn from_arcs(
+        n: usize,
+        arcs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, DagError> {
+        let mut list = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in arcs {
+            if u >= n {
+                return Err(DagError::VertexOutOfRange { vertex: u, n });
+            }
+            if v >= n {
+                return Err(DagError::VertexOutOfRange { vertex: v, n });
+            }
+            if u == v {
+                return Err(DagError::SelfLoop { vertex: u });
+            }
+            if !seen.insert((u, v)) {
+                return Err(DagError::DuplicateArc { from: u, to: v });
+            }
+            list.push((u, v));
+        }
+        let m = list.len();
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        for &(u, v) in &list {
+            out_deg[u] += 1;
+            in_deg[v] += 1;
+        }
+        let prefix = |deg: &[usize]| {
+            let mut off = Vec::with_capacity(n + 1);
+            let mut acc = 0;
+            off.push(0);
+            for &d in deg {
+                acc += d;
+                off.push(acc);
+            }
+            off
+        };
+        let out_offsets = prefix(&out_deg);
+        let in_offsets = prefix(&in_deg);
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        let mut out_targets = vec![0; m];
+        let mut out_arc_ids = vec![0; m];
+        let mut in_sources = vec![0; m];
+        let mut in_arc_ids = vec![0; m];
+        for (a, &(u, v)) in list.iter().enumerate() {
+            out_targets[out_cursor[u]] = v;
+            out_arc_ids[out_cursor[u]] = a;
+            out_cursor[u] += 1;
+            in_sources[in_cursor[v]] = u;
+            in_arc_ids[in_cursor[v]] = a;
+            in_cursor[v] += 1;
+        }
+        Ok(Digraph {
+            n,
+            arcs: list,
+            out_offsets,
+            out_targets,
+            out_arc_ids,
+            in_offsets,
+            in_sources,
+            in_arc_ids,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arcs.
+    pub fn m(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Tail and head of arc `a`.
+    pub fn arc(&self, a: ArcId) -> (usize, usize) {
+        self.arcs[a]
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.out_offsets[u + 1] - self.out_offsets[u]
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: usize) -> usize {
+        self.in_offsets[u + 1] - self.in_offsets[u]
+    }
+
+    /// Iterates `(head, arc id)` over arcs leaving `u`.
+    pub fn out_neighbors(&self, u: usize) -> impl Iterator<Item = (usize, ArcId)> + '_ {
+        let lo = self.out_offsets[u];
+        let hi = self.out_offsets[u + 1];
+        self.out_targets[lo..hi].iter().copied().zip(self.out_arc_ids[lo..hi].iter().copied())
+    }
+
+    /// Iterates `(tail, arc id)` over arcs entering `u`.
+    pub fn in_neighbors(&self, u: usize) -> impl Iterator<Item = (usize, ArcId)> + '_ {
+        let lo = self.in_offsets[u];
+        let hi = self.in_offsets[u + 1];
+        self.in_sources[lo..hi].iter().copied().zip(self.in_arc_ids[lo..hi].iter().copied())
+    }
+
+    /// Iterates all arcs as `(arc id, from, to)`.
+    pub fn all_arcs(&self) -> impl Iterator<Item = (ArcId, usize, usize)> + '_ {
+        self.arcs.iter().enumerate().map(|(a, &(u, v))| (a, u, v))
+    }
+
+    /// All vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = usize> {
+        0..self.n
+    }
+
+    /// A topological order, or `None` if the digraph has a cycle
+    /// (Kahn's algorithm).
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let mut indeg: Vec<usize> = (0..self.n).map(|v| self.in_degree(v)).collect();
+        let mut queue: VecDeque<usize> =
+            (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for (v, _) in self.out_neighbors(u) {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        (order.len() == self.n).then_some(order)
+    }
+
+    /// Returns `true` iff acyclic.
+    pub fn is_dag(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// Errors unless acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::NotAcyclic`] on a cyclic digraph.
+    pub fn require_acyclic(&self) -> Result<(), DagError> {
+        if self.is_dag() {
+            Ok(())
+        } else {
+            Err(DagError::NotAcyclic)
+        }
+    }
+}
+
+/// A small sorted set of failed arcs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArcFaults {
+    arcs: Vec<ArcId>,
+}
+
+impl ArcFaults {
+    /// The empty fault set.
+    pub fn empty() -> Self {
+        ArcFaults::default()
+    }
+
+    /// A single failed arc.
+    pub fn single(a: ArcId) -> Self {
+        ArcFaults { arcs: vec![a] }
+    }
+
+    /// From arc ids, sorted and deduplicated.
+    pub fn from_arcs(arcs: impl IntoIterator<Item = ArcId>) -> Self {
+        let mut arcs: Vec<ArcId> = arcs.into_iter().collect();
+        arcs.sort_unstable();
+        arcs.dedup();
+        ArcFaults { arcs }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: ArcId) -> bool {
+        self.arcs.binary_search(&a).is_ok()
+    }
+
+    /// Number of failed arcs.
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+}
+
+/// Directed BFS distances from a source under arc faults.
+#[derive(Clone, Debug)]
+pub struct DirectedBfs {
+    dist: Vec<Option<u32>>,
+}
+
+impl DirectedBfs {
+    /// Runs directed BFS from `source` in `d \ faults`.
+    pub fn run(d: &Digraph, source: usize, faults: &ArcFaults) -> Self {
+        let mut dist = vec![None; d.n()];
+        let mut queue = VecDeque::new();
+        dist[source] = Some(0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued");
+            for (v, a) in d.out_neighbors(u) {
+                if faults.contains(a) || dist[v].is_some() {
+                    continue;
+                }
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+        DirectedBfs { dist }
+    }
+
+    /// Distance to `v`, `None` if unreachable.
+    pub fn dist(&self, v: usize) -> Option<u32> {
+        self.dist[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_degrees() {
+        let d = Digraph::from_arcs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.m(), 4);
+        assert_eq!(d.out_degree(0), 2);
+        assert_eq!(d.in_degree(3), 2);
+        assert_eq!(d.out_neighbors(0).count(), 2);
+        assert_eq!(d.in_neighbors(3).count(), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            Digraph::from_arcs(2, [(0, 5)]),
+            Err(DagError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(Digraph::from_arcs(2, [(1, 1)]), Err(DagError::SelfLoop { .. })));
+        assert!(matches!(
+            Digraph::from_arcs(2, [(0, 1), (0, 1)]),
+            Err(DagError::DuplicateArc { .. })
+        ));
+    }
+
+    #[test]
+    fn antiparallel_allowed_but_cyclic() {
+        let d = Digraph::from_arcs(2, [(0, 1), (1, 0)]).unwrap();
+        assert!(!d.is_dag());
+        assert_eq!(d.require_acyclic(), Err(DagError::NotAcyclic));
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let d = Digraph::from_arcs(5, [(0, 2), (2, 1), (1, 4), (0, 3), (3, 4)]).unwrap();
+        let order = d.topological_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (_, u, v) in d.all_arcs() {
+            assert!(pos[u] < pos[v], "arc ({u},{v}) respects the order");
+        }
+    }
+
+    #[test]
+    fn directed_bfs_distances() {
+        let d = Digraph::from_arcs(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let bfs = DirectedBfs::run(&d, 0, &ArcFaults::empty());
+        assert_eq!(bfs.dist(3), Some(1), "direct arc wins");
+        assert_eq!(bfs.dist(2), Some(2));
+        // Direction matters: nothing reaches 0.
+        let back = DirectedBfs::run(&d, 3, &ArcFaults::empty());
+        assert_eq!(back.dist(0), None);
+    }
+
+    #[test]
+    fn faults_reroute_or_disconnect() {
+        let d = Digraph::from_arcs(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let direct = 3; // arc (0,3)
+        let bfs = DirectedBfs::run(&d, 0, &ArcFaults::single(direct));
+        assert_eq!(bfs.dist(3), Some(3), "reroute through the chain");
+        let chain0 = 0; // arc (0,1)
+        let bfs = DirectedBfs::run(&d, 0, &ArcFaults::from_arcs([direct, chain0]));
+        assert_eq!(bfs.dist(3), None);
+    }
+}

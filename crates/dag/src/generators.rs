@@ -1,0 +1,144 @@
+//! DAG generators for the extension experiments.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::digraph::Digraph;
+
+/// The directed grid: vertex `(r, c)` is `r·cols + c`, arcs point right
+/// and down. The canonical tie-rich DAG (binomially many shortest paths
+/// between corners).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid_dag(rows: usize, cols: usize) -> Digraph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut arcs = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                arcs.push((v, v + 1));
+            }
+            if r + 1 < rows {
+                arcs.push((v, v + cols));
+            }
+        }
+    }
+    Digraph::from_arcs(rows * cols, arcs).expect("grid arcs are valid")
+}
+
+/// A connected-ish random DAG: vertices get a random topological order; a
+/// backbone path keeps everything reachable from the first vertex, plus
+/// `extra` random forward arcs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_dag(n: usize, extra: usize, seed: u64) -> Digraph {
+    assert!(n > 0, "DAG needs at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut seen = std::collections::HashSet::new();
+    let mut arcs = Vec::new();
+    for w in order.windows(2) {
+        seen.insert((w[0], w[1]));
+        arcs.push((w[0], w[1]));
+    }
+    let mut attempts = 0;
+    while arcs.len() < (n - 1) + extra && attempts < 100 * (extra + 1) {
+        attempts += 1;
+        let i = rng.random_range(0..n - 1);
+        let j = rng.random_range(i + 1..n);
+        if seen.insert((order[i], order[j])) {
+            arcs.push((order[i], order[j]));
+        }
+    }
+    Digraph::from_arcs(n, arcs).expect("forward arcs are acyclic and valid")
+}
+
+/// A layered DAG: `layers` layers of `width` vertices; each vertex gets
+/// arcs to `fanout` random vertices in the next layer (plus one
+/// guaranteed arc to keep layers connected). Layered DAGs maximize
+/// shortest-path ties at equal depth.
+///
+/// # Panics
+///
+/// Panics if any parameter is zero or `fanout > width`.
+pub fn layered_dag(layers: usize, width: usize, fanout: usize, seed: u64) -> Digraph {
+    assert!(layers > 0 && width > 0 && fanout > 0, "parameters must be positive");
+    assert!(fanout <= width, "fanout cannot exceed the layer width");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = layers * width;
+    let mut seen = std::collections::HashSet::new();
+    let mut arcs = Vec::new();
+    let push = |seen: &mut std::collections::HashSet<(usize, usize)>,
+                    arcs: &mut Vec<(usize, usize)>,
+                    a: (usize, usize)| {
+        if seen.insert(a) {
+            arcs.push(a);
+        }
+    };
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            let u = l * width + i;
+            // Guaranteed arc straight ahead, then random fanout.
+            push(&mut seen, &mut arcs, (u, (l + 1) * width + i));
+            for _ in 0..fanout.saturating_sub(1) {
+                let j = rng.random_range(0..width);
+                push(&mut seen, &mut arcs, (u, (l + 1) * width + j));
+            }
+        }
+    }
+    Digraph::from_arcs(n, arcs).expect("layer arcs are acyclic and valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::{ArcFaults, DirectedBfs};
+
+    #[test]
+    fn grid_dag_shape() {
+        let d = grid_dag(3, 4);
+        assert_eq!(d.n(), 12);
+        assert_eq!(d.m(), 3 * 3 + 2 * 4);
+        assert!(d.is_dag());
+        let bfs = DirectedBfs::run(&d, 0, &ArcFaults::empty());
+        assert_eq!(bfs.dist(11), Some(5), "manhattan distance");
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_reachable() {
+        for seed in 0..5 {
+            let d = random_dag(20, 30, seed);
+            assert!(d.is_dag());
+            // The backbone makes everything reachable from its first
+            // vertex — find it as the unique vertex with in-degree 0
+            // reachable count n.
+            let reachable_all = d.vertices().any(|s| {
+                let bfs = DirectedBfs::run(&d, s, &ArcFaults::empty());
+                d.vertices().all(|v| bfs.dist(v).is_some())
+            });
+            assert!(reachable_all, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn layered_dag_depth() {
+        let d = layered_dag(5, 4, 2, 1);
+        assert!(d.is_dag());
+        assert_eq!(d.n(), 20);
+        let bfs = DirectedBfs::run(&d, 0, &ArcFaults::empty());
+        assert_eq!(bfs.dist(16), Some(4), "straight-ahead chain");
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(random_dag(15, 20, 3), random_dag(15, 20, 3));
+        assert_eq!(layered_dag(4, 3, 2, 9), layered_dag(4, 3, 2, 9));
+    }
+}

@@ -1,0 +1,213 @@
+//! Breadth-first search honoring fault sets.
+//!
+//! BFS in `G \ F` is the unweighted ground truth: every experiment that
+//! verifies a preserver, spanner, label, or replacement path compares
+//! against distances computed here.
+
+use std::collections::VecDeque;
+
+use crate::fault::FaultSet;
+use crate::graph::{EdgeId, Graph, Vertex};
+use crate::path::Path;
+
+/// The result of a BFS from a single source: a shortest-path (BFS) tree.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_graph::{bfs, generators, FaultSet};
+///
+/// let g = generators::path_graph(4); // 0 - 1 - 2 - 3
+/// let t = bfs(&g, 0, &FaultSet::empty());
+/// assert_eq!(t.dist(3), Some(3));
+/// assert_eq!(t.path_to(3).unwrap().vertices(), &[0, 1, 2, 3]);
+///
+/// let cut = FaultSet::single(g.edge_between(1, 2).unwrap());
+/// let t = bfs(&g, 0, &cut);
+/// assert_eq!(t.dist(3), None); // disconnected
+/// ```
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    source: Vertex,
+    dist: Vec<Option<u32>>,
+    parent: Vec<Option<(Vertex, EdgeId)>>,
+}
+
+impl BfsTree {
+    /// Assembles a tree from raw parts.
+    ///
+    /// Used by higher layers (e.g. tiebreaking schemes) to expose weighted
+    /// shortest-path trees through the unweighted tree interface. Callers
+    /// must supply consistent parts: `parent[v].is_some()` exactly for
+    /// reachable non-source vertices, and `dist` consistent with parents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths differ or the source has a parent.
+    pub fn from_parts(
+        source: Vertex,
+        dist: Vec<Option<u32>>,
+        parent: Vec<Option<(Vertex, EdgeId)>>,
+    ) -> Self {
+        assert_eq!(dist.len(), parent.len(), "mismatched tree part lengths");
+        assert!(parent[source].is_none(), "the source has no parent");
+        BfsTree { source, dist, parent }
+    }
+
+    /// The BFS source vertex.
+    pub fn source(&self) -> Vertex {
+        self.source
+    }
+
+    /// Unweighted distance from the source to `v`, or `None` if unreachable.
+    pub fn dist(&self, v: Vertex) -> Option<u32> {
+        self.dist[v]
+    }
+
+    /// Parent of `v` in the BFS tree as `(vertex, edge id)`, or `None` for
+    /// the source and unreachable vertices.
+    pub fn parent(&self, v: Vertex) -> Option<(Vertex, EdgeId)> {
+        self.parent[v]
+    }
+
+    /// The source-to-`v` path in the tree, or `None` if `v` is unreachable.
+    pub fn path_to(&self, v: Vertex) -> Option<Path> {
+        self.dist[v]?;
+        let mut verts = vec![v];
+        let mut cur = v;
+        while let Some((p, _)) = self.parent[cur] {
+            verts.push(p);
+            cur = p;
+        }
+        verts.reverse();
+        debug_assert_eq!(verts[0], self.source);
+        Some(Path::new(verts))
+    }
+
+    /// All tree edge ids (one per reachable non-source vertex).
+    pub fn tree_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.parent.iter().filter_map(|p| p.map(|(_, e)| e))
+    }
+
+    /// Number of reachable vertices (including the source).
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// The eccentricity of the source: max distance to a reachable vertex.
+    pub fn eccentricity(&self) -> u32 {
+        self.dist.iter().filter_map(|d| *d).max().unwrap_or(0)
+    }
+}
+
+/// Runs BFS from `source` in `g \ faults`.
+///
+/// Ties between equal-length paths are broken by neighbor order (lowest
+/// vertex id first), which makes this a *consistent but arbitrary*
+/// tiebreaking scheme — exactly the kind Figure 1 of the paper shows can
+/// fail restoration-by-concatenation. The restorable schemes live in
+/// `rsp-core`.
+///
+/// # Panics
+///
+/// Panics if `source >= g.n()`.
+pub fn bfs(g: &Graph, source: Vertex, faults: &FaultSet) -> BfsTree {
+    assert!(source < g.n(), "bfs source {source} out of range");
+    let mut dist = vec![None; g.n()];
+    let mut parent = vec![None; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued vertices have distances");
+        for (v, e) in g.neighbors(u) {
+            if faults.contains(e) || dist[v].is_some() {
+                continue;
+            }
+            dist[v] = Some(du + 1);
+            parent[v] = Some((u, e));
+            queue.push_back(v);
+        }
+    }
+    BfsTree { source, dist, parent }
+}
+
+/// Runs BFS from every vertex, returning one tree per source.
+///
+/// `O(n·(n + m))`; used by verifiers and small-scale ground truth, not by
+/// the algorithms under test.
+pub fn bfs_all_pairs(g: &Graph, faults: &FaultSet) -> Vec<BfsTree> {
+    g.vertices().map(|s| bfs(g, s, faults)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = generators::cycle(6);
+        let t = bfs(&g, 0, &FaultSet::empty());
+        assert_eq!(t.dist(3), Some(3));
+        assert_eq!(t.dist(5), Some(1));
+        assert_eq!(t.eccentricity(), 3);
+        assert_eq!(t.reachable_count(), 6);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = generators::grid(3, 3);
+        let t = bfs(&g, 0, &FaultSet::empty());
+        let p = t.path_to(8).unwrap();
+        assert_eq!(p.hops(), 4);
+        assert!(p.is_valid_in(&g));
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.target(), 8);
+    }
+
+    #[test]
+    fn faults_reroute() {
+        let g = generators::cycle(5);
+        let e = g.edge_between(0, 1).unwrap();
+        let t = bfs(&g, 0, &FaultSet::single(e));
+        assert_eq!(t.dist(1), Some(4));
+        assert!(t.path_to(1).unwrap().avoids(&g, &FaultSet::single(e)));
+    }
+
+    #[test]
+    fn unreachable_after_cut() {
+        let g = generators::path_graph(4);
+        let e = g.edge_between(1, 2).unwrap();
+        let t = bfs(&g, 0, &FaultSet::single(e));
+        assert_eq!(t.dist(2), None);
+        assert!(t.path_to(2).is_none());
+        assert_eq!(t.reachable_count(), 2);
+    }
+
+    #[test]
+    fn tree_edges_count() {
+        let g = generators::complete(5);
+        let t = bfs(&g, 2, &FaultSet::empty());
+        assert_eq!(t.tree_edges().count(), 4);
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = generators::petersen();
+        let trees = bfs_all_pairs(&g, &FaultSet::empty());
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(trees[u].dist(v), trees[v].dist(u));
+            }
+        }
+    }
+
+    #[test]
+    fn source_has_no_parent() {
+        let g = generators::path_graph(3);
+        let t = bfs(&g, 1, &FaultSet::empty());
+        assert!(t.parent(1).is_none());
+        assert_eq!(t.parent(0).map(|(p, _)| p), Some(1));
+    }
+}

@@ -1,0 +1,198 @@
+//! Incremental, validating graph construction.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{Graph, Vertex};
+
+/// Error raised when constructing an invalid graph.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_graph::{Graph, GraphError};
+///
+/// assert!(matches!(Graph::from_edges(2, [(0, 0)]), Err(GraphError::SelfLoop { .. })));
+/// assert!(matches!(Graph::from_edges(2, [(0, 5)]), Err(GraphError::VertexOutOfRange { .. })));
+/// assert!(matches!(
+///     Graph::from_edges(2, [(0, 1), (1, 0)]),
+///     Err(GraphError::DuplicateEdge { .. })
+/// ));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint was `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: Vertex,
+        /// The number of vertices in the graph under construction.
+        n: usize,
+    },
+    /// Both endpoints were equal; simple graphs have no self-loops.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: Vertex,
+    },
+    /// The edge was already present; simple graphs have no parallel edges.
+    DuplicateEdge {
+        /// Canonical endpoints of the duplicated edge.
+        u: Vertex,
+        /// Canonical endpoints of the duplicated edge.
+        v: Vertex,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Incremental builder for [`Graph`].
+///
+/// Validates each edge as it is added; [`GraphBuilder::build`] is infallible.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), rsp_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+    seen: HashSet<(Vertex, Vertex)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices with no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), seen: HashSet::new() }
+    }
+
+    /// Number of vertices of the graph under construction.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge; endpoint order is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints, self-loops, or
+    /// duplicates.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !self.seen.insert(key) {
+            return Err(GraphError::DuplicateEdge { u: key.0, v: key.1 });
+        }
+        self.edges.push(key);
+        Ok(())
+    }
+
+    /// Adds an edge if it is not already present, ignoring duplicates.
+    ///
+    /// Returns `true` if the edge was newly added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints or self-loops.
+    pub fn add_edge_dedup(&mut self, u: Vertex, v: Vertex) -> Result<bool, GraphError> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Returns `true` iff the edge is already present.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.seen.contains(&key)
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    ///
+    /// Edge ids are assigned in insertion order.
+    pub fn build(self) -> Graph {
+        Graph::from_canonical_edges(self.n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(0, 2), Err(GraphError::VertexOutOfRange { vertex: 2, n: 2 }));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 }));
+    }
+
+    #[test]
+    fn rejects_duplicate_both_orders() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(b.add_edge(1, 0), Err(GraphError::DuplicateEdge { u: 0, v: 1 }));
+    }
+
+    #[test]
+    fn dedup_add() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_dedup(0, 1).unwrap());
+        assert!(!b.add_edge_dedup(1, 0).unwrap());
+        assert_eq!(b.build().m(), 1);
+    }
+
+    #[test]
+    fn edge_ids_in_insertion_order() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 2).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.endpoints(0), (2, 3));
+        assert_eq!(g.endpoints(1), (0, 1));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert_eq!(e.to_string(), "duplicate edge (1, 2)");
+    }
+}

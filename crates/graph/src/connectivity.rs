@@ -1,0 +1,114 @@
+//! Connectivity queries over fault subgraphs.
+
+use crate::fault::FaultSet;
+use crate::graph::{Graph, Vertex};
+
+/// Labels each vertex with a connected-component id in `g \ faults`.
+///
+/// Component ids are in `0..k` with `k` the number of components, assigned
+/// in order of lowest contained vertex.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_graph::{components, generators, FaultSet};
+///
+/// let g = generators::path_graph(4);
+/// let cut = FaultSet::single(g.edge_between(1, 2).unwrap());
+/// assert_eq!(components(&g, &cut), vec![0, 0, 1, 1]);
+/// ```
+pub fn components(g: &Graph, faults: &FaultSet) -> Vec<usize> {
+    let mut comp = vec![usize::MAX; g.n()];
+    let mut next = 0;
+    let mut stack = Vec::new();
+    for s in g.vertices() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            for (v, e) in g.neighbors(u) {
+                if !faults.contains(e) && comp[v] == usize::MAX {
+                    comp[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Returns `true` iff `g` is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    is_connected_avoiding(g, &FaultSet::empty())
+}
+
+/// Returns `true` iff `g \ faults` is connected.
+pub fn is_connected_avoiding(g: &Graph, faults: &FaultSet) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    let comp = components(g, faults);
+    comp.iter().all(|&c| c == 0)
+}
+
+/// Returns `true` iff `s` and `t` are connected in `g \ faults`.
+pub fn connected_pair(g: &Graph, s: Vertex, t: Vertex, faults: &FaultSet) -> bool {
+    let comp = components(g, faults);
+    comp[s] == comp[t]
+}
+
+/// The diameter of `g`: the maximum finite distance over all pairs.
+///
+/// Computed by BFS from every vertex (`O(n·(n + m))`); returns `0` for
+/// graphs with at most one vertex. Disconnected pairs are ignored (the
+/// result is the largest intra-component eccentricity).
+pub fn diameter(g: &Graph) -> u32 {
+    let empty = FaultSet::empty();
+    g.vertices().map(|s| crate::bfs(g, s, &empty).eccentricity()).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn connected_families() {
+        assert!(is_connected(&generators::cycle(7)));
+        assert!(is_connected(&generators::complete(5)));
+        assert!(is_connected(&generators::petersen()));
+        assert!(is_connected(&generators::grid(3, 4)));
+    }
+
+    #[test]
+    fn single_vertex_connected() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_after_bridge_cut() {
+        let g = generators::path_graph(5);
+        let e = g.edge_between(2, 3).unwrap();
+        assert!(!is_connected_avoiding(&g, &FaultSet::single(e)));
+        assert!(connected_pair(&g, 0, 2, &FaultSet::single(e)));
+        assert!(!connected_pair(&g, 0, 4, &FaultSet::single(e)));
+    }
+
+    #[test]
+    fn cycle_survives_one_fault() {
+        let g = generators::cycle(6);
+        for (e, _, _) in g.edges() {
+            assert!(is_connected_avoiding(&g, &FaultSet::single(e)));
+        }
+    }
+
+    #[test]
+    fn component_ids_ordered() {
+        let g = Graph::from_edges(4, [(2, 3)]).unwrap();
+        assert_eq!(components(&g, &FaultSet::empty()), vec![0, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Fault sets: the `F ⊆ E` of the paper, `|F| ≤ f`.
+
+use crate::graph::EdgeId;
+
+/// A small sorted set of failed edges.
+///
+/// All traversal routines in this workspace take a `&FaultSet` and treat the
+/// contained edges as deleted, realizing the paper's `G \ F` without copying
+/// the graph. Fault sets are tiny (the paper's `f` is a small constant), so
+/// a sorted `Vec` with binary-search membership is the right trade-off.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_graph::FaultSet;
+///
+/// let f = FaultSet::from_edges([3, 1, 3]);
+/// assert_eq!(f.len(), 2);
+/// assert!(f.contains(1));
+/// assert!(!f.contains(2));
+/// let g = f.with(2);
+/// assert_eq!(g.len(), 3);
+/// assert!(f.is_subset_of(&g));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct FaultSet {
+    /// Sorted, deduplicated edge ids.
+    edges: Vec<EdgeId>,
+}
+
+impl FaultSet {
+    /// The empty fault set (`F = ∅`, the fault-free graph).
+    pub fn empty() -> Self {
+        FaultSet { edges: Vec::new() }
+    }
+
+    /// A fault set containing exactly one edge.
+    pub fn single(e: EdgeId) -> Self {
+        FaultSet { edges: vec![e] }
+    }
+
+    /// Builds a fault set from edge ids, sorting and deduplicating.
+    pub fn from_edges(edges: impl IntoIterator<Item = EdgeId>) -> Self {
+        let mut edges: Vec<EdgeId> = edges.into_iter().collect();
+        edges.sort_unstable();
+        edges.dedup();
+        FaultSet { edges }
+    }
+
+    /// Number of failed edges, `|F|`.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` iff no edges have failed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Returns `true` iff edge `e` has failed.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Iterates over the failed edge ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Returns a new fault set with `e` additionally failed.
+    pub fn with(&self, e: EdgeId) -> FaultSet {
+        match self.edges.binary_search(&e) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut edges = self.edges.clone();
+                edges.insert(pos, e);
+                FaultSet { edges }
+            }
+        }
+    }
+
+    /// Returns a new fault set with `e` removed (if present).
+    pub fn without(&self, e: EdgeId) -> FaultSet {
+        match self.edges.binary_search(&e) {
+            Err(_) => self.clone(),
+            Ok(pos) => {
+                let mut edges = self.edges.clone();
+                edges.remove(pos);
+                FaultSet { edges }
+            }
+        }
+    }
+
+    /// Returns `true` iff every edge of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &FaultSet) -> bool {
+        self.edges.iter().all(|&e| other.contains(e))
+    }
+
+    /// Enumerates all *proper* subsets `F' ⊊ F`.
+    ///
+    /// The definition of `f`-restorability (Definition 17) quantifies over
+    /// proper fault subsets; `f` is a small constant so the `2^|F| − 1`
+    /// enumeration is cheap.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::FaultSet;
+    /// let f = FaultSet::from_edges([0, 1]);
+    /// let subs: Vec<_> = f.proper_subsets().collect();
+    /// assert_eq!(subs.len(), 3); // {}, {0}, {1}
+    /// ```
+    pub fn proper_subsets(&self) -> impl Iterator<Item = FaultSet> + '_ {
+        let k = self.edges.len();
+        let full: u64 = (1u64 << k) - 1;
+        (0..full).map(move |mask| {
+            let edges = self
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &e)| e)
+                .collect();
+            FaultSet { edges }
+        })
+    }
+}
+
+impl FromIterator<EdgeId> for FaultSet {
+    fn from_iter<T: IntoIterator<Item = EdgeId>>(iter: T) -> Self {
+        FaultSet::from_edges(iter)
+    }
+}
+
+impl std::fmt::Display for FaultSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let f = FaultSet::from_edges([5, 1, 5, 3]);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn with_without() {
+        let f = FaultSet::from_edges([2]);
+        assert_eq!(f.with(2), f);
+        assert_eq!(f.with(1).iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(f.without(2), FaultSet::empty());
+        assert_eq!(f.without(9), f);
+    }
+
+    #[test]
+    fn proper_subsets_of_empty_is_empty() {
+        assert_eq!(FaultSet::empty().proper_subsets().count(), 0);
+    }
+
+    #[test]
+    fn proper_subsets_of_three() {
+        let f = FaultSet::from_edges([0, 1, 2]);
+        let subs: Vec<_> = f.proper_subsets().collect();
+        assert_eq!(subs.len(), 7);
+        assert!(subs.iter().all(|s| s.is_subset_of(&f) && s != &f));
+        assert!(subs.contains(&FaultSet::empty()));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = FaultSet::from_edges([1, 2]);
+        let b = FaultSet::from_edges([0, 1, 2]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(FaultSet::empty().is_subset_of(&a));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(FaultSet::from_edges([2, 0]).to_string(), "{0, 2}");
+        assert_eq!(FaultSet::empty().to_string(), "{}");
+    }
+}

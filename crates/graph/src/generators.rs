@@ -1,0 +1,390 @@
+//! Graph generators: structured families for tests and the paper's
+//! experiments, plus random workloads for the benches.
+//!
+//! The 4-cycle ([`cycle`]`(4)`) is the paper's Theorem 37 counterexample;
+//! even cycles and grids are rich in shortest-path ties and therefore good
+//! stress tests for tiebreaking; [`connected_gnm`] is the standard workload
+//! for scaling experiments.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, Vertex};
+
+/// The path graph `P_n`: `0 − 1 − ⋯ − (n−1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path_graph(n: usize) -> Graph {
+    assert!(n > 0, "path graph needs at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(i, i + 1).expect("valid path edge");
+    }
+    b.build()
+}
+
+/// The cycle `C_n`.
+///
+/// `cycle(4)` is the graph of Theorem 37: no symmetric tiebreaking scheme on
+/// it is 1-restorable.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycles need at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n).expect("valid cycle edge");
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0, "complete graph needs at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v).expect("valid complete edge");
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` with sides `0..a` and `a..a+b`.
+///
+/// # Panics
+///
+/// Panics if `a == 0` or `b == 0`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(a > 0 && b > 0, "bipartite sides must be nonempty");
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            builder.add_edge(u, v).expect("valid bipartite edge");
+        }
+    }
+    builder.build()
+}
+
+/// The star `K_{1,n−1}` with center `0`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least 2 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v).expect("valid star edge");
+    }
+    b.build()
+}
+
+/// The `rows × cols` grid; vertex `(r, c)` is `r * cols + c`.
+///
+/// Grids have exponentially many tied shortest paths, making them the
+/// canonical stress test for tiebreaking schemes.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1).expect("valid grid edge");
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols).expect("valid grid edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` torus (grid with wraparound).
+///
+/// # Panics
+///
+/// Panics if either dimension is `< 3` (smaller wraps create parallel edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            let right = r * cols + (c + 1) % cols;
+            let down = ((r + 1) % rows) * cols + c;
+            b.add_edge(v, right).expect("valid torus edge");
+            b.add_edge(v, down).expect("valid torus edge");
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` vertices.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > 20`.
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d > 0 && d <= 20, "hypercube dimension must be in 1..=20");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v, u).expect("valid hypercube edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The Petersen graph (10 vertices, 15 edges, girth 5).
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    // Outer 5-cycle 0..4, inner 5-star 5..9, spokes i — i+5.
+    for i in 0..5 {
+        b.add_edge(i, (i + 1) % 5).expect("outer");
+        b.add_edge(5 + i, 5 + (i + 2) % 5).expect("inner");
+        b.add_edge(i, 5 + i).expect("spoke");
+    }
+    b.build()
+}
+
+/// Two cliques `K_k` joined by a path of `bridge_len` edges.
+///
+/// A classic worst case for fault tolerance: every bridge edge is critical.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `bridge_len == 0`.
+pub fn barbell(k: usize, bridge_len: usize) -> Graph {
+    assert!(k >= 2 && bridge_len >= 1, "barbell needs k >= 2 and a bridge");
+    let n = 2 * k + bridge_len - 1;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u, v).expect("left clique");
+        }
+    }
+    let right0 = k + bridge_len - 1;
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(right0 + u, right0 + v).expect("right clique");
+        }
+    }
+    // Bridge from vertex k-1 through k, k+1, … to right0.
+    let mut prev = k - 1;
+    for i in 0..bridge_len {
+        let next = k + i;
+        b.add_edge(prev, next).expect("bridge");
+        prev = next;
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: each possible edge present independently with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p) {
+                b.add_edge(u, v).expect("valid gnp edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// A uniformly random spanning tree on `n` vertices (random attachment).
+///
+/// Each vertex `v ≥ 1` attaches to a uniform earlier vertex after a random
+/// relabeling — not the uniform spanning tree distribution, but an
+/// unbiased-enough workload tree with varied degree profiles.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n > 0, "tree needs at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut label: Vec<Vertex> = (0..n).collect();
+    label.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        b.add_edge(label[i], label[j]).expect("valid tree edge");
+    }
+    b.build()
+}
+
+/// A connected random graph with exactly `m` edges: a random spanning tree
+/// plus `m − (n−1)` uniform random non-tree edges.
+///
+/// This is the standard workload for the scaling experiments (E4, E5, E7).
+///
+/// # Panics
+///
+/// Panics if `m < n − 1` or `m` exceeds the simple-graph maximum.
+pub fn connected_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n > 0, "graph needs at least one vertex");
+    assert!(m + 1 >= n, "need at least n-1 edges to connect {n} vertices");
+    let max_m = n * (n - 1) / 2;
+    assert!(m <= max_m, "{m} edges exceed simple-graph maximum {max_m}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut label: Vec<Vertex> = (0..n).collect();
+    label.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        b.add_edge(label[i], label[j]).expect("valid tree edge");
+    }
+    while b.m() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v {
+            let _ = b.add_edge_dedup(u, v).expect("in-range edge");
+        }
+    }
+    b.build()
+}
+
+/// An (approximately) random `d`-regular connected graph: a Hamiltonian
+/// cycle plus random perfect-matching-style chords until average degree `d`.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `d >= n`.
+pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d >= 2 && d < n, "degree must be in 2..n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<Vertex> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        let _ = b.add_edge_dedup(order[i], order[(i + 1) % n]).expect("in-range");
+    }
+    let target = n * d / 2;
+    let mut attempts = 0;
+    while b.m() < target && attempts < 50 * target {
+        attempts += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v {
+            let _ = b.add_edge_dedup(u, v).expect("in-range");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn family_sizes() {
+        assert_eq!(path_graph(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(complete(5).m(), 10);
+        assert_eq!(complete_bipartite(2, 3).m(), 6);
+        assert_eq!(star(6).m(), 5);
+        assert_eq!(grid(3, 4).m(), 17);
+        assert_eq!(torus(3, 3).m(), 18);
+        assert_eq!(hypercube(3).m(), 12);
+        assert_eq!(petersen().m(), 15);
+    }
+
+    #[test]
+    fn petersen_is_three_regular() {
+        let g = petersen();
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(3, 2);
+        // 3+3 clique vertices, 1 interior bridge vertex.
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 3 + 3 + 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(6, 0.0, 1).m(), 0);
+        assert_eq!(gnp(6, 1.0, 1).m(), 15);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_tree(20, seed);
+            assert_eq!(g.m(), 19);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn connected_gnm_exact_m_and_connected() {
+        for seed in 0..5 {
+            let g = connected_gnm(30, 60, seed);
+            assert_eq!(g.n(), 30);
+            assert_eq!(g.m(), 60);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn connected_gnm_tree_case() {
+        let g = connected_gnm(10, 9, 7);
+        assert_eq!(g.m(), 9);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn near_regular_connected() {
+        let g = near_regular(40, 4, 3);
+        assert!(is_connected(&g));
+        assert!(g.m() >= 40); // at least the Hamiltonian cycle
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        assert_eq!(connected_gnm(25, 50, 42), connected_gnm(25, 50, 42));
+        assert_ne!(connected_gnm(25, 50, 42), connected_gnm(25, 50, 43));
+    }
+
+    #[test]
+    fn grid_coordinates() {
+        let g = grid(2, 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 3) && !g.has_edge(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        let _ = cycle(2);
+    }
+}

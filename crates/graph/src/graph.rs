@@ -1,0 +1,311 @@
+//! The core undirected, unweighted graph type in CSR form.
+
+use crate::builder::{GraphBuilder, GraphError};
+
+/// A vertex identifier: an index in `0..n`.
+pub type Vertex = usize;
+
+/// An edge identifier: an index in `0..m`, stable across the graph's life.
+///
+/// Fault sets ([`crate::FaultSet`]) and tiebreaking weight functions are both
+/// keyed by `EdgeId`, so that "the weight of edge `e`" and "edge `e` failed"
+/// refer to the same object.
+pub type EdgeId = usize;
+
+/// A compact undirected, unweighted simple graph.
+///
+/// Stored in CSR (compressed sparse row) form: for each vertex a contiguous
+/// slice of (neighbor, incident edge id) pairs, sorted by neighbor. Edge
+/// endpoints are canonicalized as `(u, v)` with `u < v`; an [`EdgeId`] is an
+/// index into the canonical edge list.
+///
+/// The graph is immutable after construction (via [`GraphBuilder`] or
+/// [`Graph::from_edges`]); edge *faults* are expressed as views through
+/// [`crate::FaultSet`] arguments to the traversal routines rather than by
+/// mutating the graph, matching the paper's `G \ F` notation.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.edge_between(0, 2).is_none());
+/// # Ok::<(), rsp_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// Canonical endpoints, `edges[e] = (u, v)` with `u < v`.
+    edges: Vec<(Vertex, Vertex)>,
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// CSR neighbor targets, length `2m`, sorted within each vertex slice.
+    targets: Vec<Vertex>,
+    /// Edge id of each adjacency slot, parallel to `targets`.
+    incident: Vec<EdgeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an edge iterator.
+    ///
+    /// Endpoints may appear in either order; they are canonicalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints, self-loops, or
+    /// duplicate edges.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::Graph;
+    /// let g = Graph::from_edges(3, [(2, 0), (0, 1)])?;
+    /// assert_eq!(g.endpoints(0), (0, 2)); // canonicalized, ids in input order
+    /// # Ok::<(), rsp_graph::GraphError>(())
+    /// ```
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (Vertex, Vertex)>,
+    ) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Internal constructor used by [`GraphBuilder::build`]; inputs must be
+    /// pre-validated (canonical, deduplicated, in-range).
+    pub(crate) fn from_canonical_edges(n: usize, edges: Vec<(Vertex, Vertex)>) -> Self {
+        let m = edges.len();
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0; 2 * m];
+        let mut incident = vec![0; 2 * m];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            targets[cursor[u]] = v;
+            incident[cursor[u]] = e;
+            cursor[u] += 1;
+            targets[cursor[v]] = u;
+            incident[cursor[v]] = e;
+            cursor[v] += 1;
+        }
+        // Sort each adjacency slice by neighbor for binary-searchable lookups.
+        for u in 0..n {
+            let lo = offsets[u];
+            let hi = offsets[u + 1];
+            let mut pairs: Vec<(Vertex, EdgeId)> =
+                targets[lo..hi].iter().copied().zip(incident[lo..hi].iter().copied()).collect();
+            pairs.sort_unstable();
+            for (i, (t, e)) in pairs.into_iter().enumerate() {
+                targets[lo + i] = t;
+                incident[lo + i] = e;
+            }
+        }
+        Graph { n, edges, offsets, targets, incident }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.n()`.
+    pub fn degree(&self, u: Vertex) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= self.m()`.
+    pub fn endpoints(&self, e: EdgeId) -> (Vertex, Vertex) {
+        self.edges[e]
+    }
+
+    /// Given edge `e` and one endpoint `u`, returns the other endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range or `u` is not an endpoint of `e`.
+    pub fn other_endpoint(&self, e: EdgeId, u: Vertex) -> Vertex {
+        let (a, b) = self.edges[e];
+        if u == a {
+            b
+        } else {
+            assert_eq!(u, b, "vertex {u} is not an endpoint of edge {e}");
+            a
+        }
+    }
+
+    /// Iterates over `(neighbor, edge id)` pairs of `u`, sorted by neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.n()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::Graph;
+    /// let g = Graph::from_edges(3, [(0, 1), (0, 2)])?;
+    /// let nbrs: Vec<_> = g.neighbors(0).map(|(v, _)| v).collect();
+    /// assert_eq!(nbrs, vec![1, 2]);
+    /// # Ok::<(), rsp_graph::GraphError>(())
+    /// ```
+    pub fn neighbors(&self, u: Vertex) -> impl Iterator<Item = (Vertex, EdgeId)> + '_ {
+        let lo = self.offsets[u];
+        let hi = self.offsets[u + 1];
+        self.targets[lo..hi].iter().copied().zip(self.incident[lo..hi].iter().copied())
+    }
+
+    /// Looks up the edge between `u` and `v`, if present.
+    ///
+    /// Runs in `O(log deg(u))`.
+    pub fn edge_between(&self, u: Vertex, v: Vertex) -> Option<EdgeId> {
+        if u >= self.n || v >= self.n || u == v {
+            return None;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let lo = self.offsets[a];
+        let hi = self.offsets[a + 1];
+        let slice = &self.targets[lo..hi];
+        slice.binary_search(&b).ok().map(|i| self.incident[lo + i])
+    }
+
+    /// Returns `true` iff an edge between `u` and `v` exists.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Iterates over all edges as `(edge id, u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Vertex, Vertex)> + '_ {
+        self.edges.iter().enumerate().map(|(e, &(u, v))| (e, u, v))
+    }
+
+    /// Iterates over all vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> {
+        0..self.n
+    }
+
+    /// Returns the union of this graph's edge set with another edge-id set,
+    /// as a new graph over the same vertex set.
+    ///
+    /// Used to materialize preserver subgraphs: `H ⊆ G` given by edge ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge id is out of range.
+    pub fn edge_subgraph(&self, keep: impl IntoIterator<Item = EdgeId>) -> Graph {
+        let mut seen = vec![false; self.m()];
+        let mut edges = Vec::new();
+        for e in keep {
+            if !seen[e] {
+                seen[e] = true;
+                edges.push(self.edges[e]);
+            }
+        }
+        edges.sort_unstable();
+        Graph::from_canonical_edges(self.n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn canonicalizes_endpoints() {
+        let g = Graph::from_edges(3, [(2, 1)]).unwrap();
+        assert_eq!(g.endpoints(0), (1, 2));
+    }
+
+    #[test]
+    fn edge_between_present_and_absent() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.edge_between(1, 0), Some(0));
+        assert_eq!(g.edge_between(2, 1), Some(1));
+        assert_eq!(g.edge_between(0, 2), None);
+        assert_eq!(g.edge_between(0, 0), None);
+        assert_eq!(g.edge_between(0, 99), None);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        let nbrs: Vec<_> = g.neighbors(2).map(|(v, _)| v).collect();
+        assert_eq!(nbrs, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let g = Graph::from_edges(3, [(0, 2)]).unwrap();
+        assert_eq!(g.other_endpoint(0, 0), 2);
+        assert_eq!(g.other_endpoint(0, 2), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_endpoint_wrong_vertex_panics() {
+        let g = Graph::from_edges(3, [(0, 2)]).unwrap();
+        let _ = g.other_endpoint(0, 1);
+    }
+
+    #[test]
+    fn edge_subgraph_dedupes() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let h = g.edge_subgraph([1, 1, 2]);
+        assert_eq!(h.n(), 4);
+        assert_eq!(h.m(), 2);
+        assert!(h.has_edge(1, 2) && h.has_edge(2, 3) && !h.has_edge(0, 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Graph::from_edges(5, [(0, 1)]).unwrap();
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(4).count(), 0);
+    }
+}

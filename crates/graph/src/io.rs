@@ -1,0 +1,172 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first line `n m`, then `m` lines `u v`. Lines starting with `#`
+//! are comments. This is enough to move test graphs in and out of the
+//! workspace; it is deliberately not a general graph interchange format.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::GraphError;
+use crate::graph::Graph;
+
+/// Error raised when parsing an edge-list string.
+#[derive(Debug)]
+pub enum ParseGraphError {
+    /// The header line `n m` was missing or malformed.
+    BadHeader(String),
+    /// An edge line was malformed.
+    BadEdgeLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// Fewer edge lines than the header promised.
+    MissingEdges {
+        /// Edges promised by the header.
+        expected: usize,
+        /// Edges actually present.
+        found: usize,
+    },
+    /// The edges violated simple-graph invariants.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::BadHeader(s) => write!(f, "bad header line: {s:?}"),
+            ParseGraphError::BadEdgeLine { line, text } => {
+                write!(f, "bad edge on line {line}: {text:?}")
+            }
+            ParseGraphError::MissingEdges { expected, found } => {
+                write!(f, "header promised {expected} edges but found {found}")
+            }
+            ParseGraphError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseGraphError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ParseGraphError {
+    fn from(e: GraphError) -> Self {
+        ParseGraphError::Graph(e)
+    }
+}
+
+/// Serializes a graph to the edge-list format.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_graph::{generators, to_edge_list_string, from_edge_list_str};
+///
+/// let g = generators::cycle(3);
+/// let s = to_edge_list_string(&g);
+/// assert_eq!(from_edge_list_str(&s).unwrap(), g);
+/// ```
+pub fn to_edge_list_string(g: &Graph) -> String {
+    let mut out = format!("{} {}\n", g.n(), g.m());
+    for (_, u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Parses a graph from the edge-list format.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed input or invalid graphs.
+pub fn from_edge_list_str(s: &str) -> Result<Graph, ParseGraphError> {
+    let mut lines = s
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (_, header) = lines.next().ok_or_else(|| ParseGraphError::BadHeader(String::new()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseGraphError::BadHeader(header.to_string()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseGraphError::BadHeader(header.to_string()))?;
+    if parts.next().is_some() {
+        return Err(ParseGraphError::BadHeader(header.to_string()));
+    }
+    let mut edges = Vec::with_capacity(m);
+    for (line, text) in lines.by_ref().take(m) {
+        let mut parts = text.split_whitespace();
+        let parse = |t: Option<&str>| t.and_then(|t| t.parse::<usize>().ok());
+        match (parse(parts.next()), parse(parts.next()), parts.next()) {
+            (Some(u), Some(v), None) => edges.push((u, v)),
+            _ => return Err(ParseGraphError::BadEdgeLine { line, text: text.to_string() }),
+        }
+    }
+    if edges.len() < m {
+        return Err(ParseGraphError::MissingEdges { expected: m, found: edges.len() });
+    }
+    Ok(Graph::from_edges(n, edges)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip() {
+        for g in [generators::petersen(), generators::grid(3, 3), generators::star(5)] {
+            let s = to_edge_list_string(&g);
+            assert_eq!(from_edge_list_str(&s).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let s = "# a comment\n\n3 2\n0 1\n# interior\n1 2\n";
+        let g = from_edge_list_str(s).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn bad_header() {
+        assert!(matches!(from_edge_list_str("abc"), Err(ParseGraphError::BadHeader(_))));
+        assert!(matches!(from_edge_list_str(""), Err(ParseGraphError::BadHeader(_))));
+        assert!(matches!(from_edge_list_str("3 1 9\n0 1"), Err(ParseGraphError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bad_edge_line() {
+        let s = "3 2\n0 1\n1 x\n";
+        assert!(matches!(from_edge_list_str(s), Err(ParseGraphError::BadEdgeLine { .. })));
+    }
+
+    #[test]
+    fn missing_edges() {
+        let s = "3 2\n0 1\n";
+        assert!(matches!(
+            from_edge_list_str(s),
+            Err(ParseGraphError::MissingEdges { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn invalid_graph_propagates() {
+        let s = "2 1\n0 5\n";
+        assert!(matches!(from_edge_list_str(s), Err(ParseGraphError::Graph(_))));
+    }
+}

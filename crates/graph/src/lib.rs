@@ -1,0 +1,69 @@
+//! Graph substrate for restorable shortest path tiebreaking.
+//!
+//! The Bodwin–Parter construction (PODC 2021) works over *undirected,
+//! unweighted* graphs, converts them to symmetric directed graphs, perturbs
+//! the unit weights by an antisymmetric tiebreaking weight function, and runs
+//! shortest-path computations in the perturbed graph `G*` and in fault
+//! subgraphs `G \ F`. This crate supplies everything below the tiebreaking
+//! layer:
+//!
+//! * [`Graph`] — a compact CSR (compressed sparse row) undirected unweighted
+//!   graph with stable edge identifiers;
+//! * [`GraphBuilder`] — incremental, validating construction;
+//! * [`FaultSet`] — a small set of failed edges, the `F` of the paper;
+//! * [`bfs`] — breadth-first search honoring fault sets (unweighted
+//!   distances, the ground truth all experiments compare against);
+//! * [`dijkstra`] — an *exact-cost* Dijkstra, generic over
+//!   [`rsp_arith::PathCost`], used with the scaled integer weights of the
+//!   tiebreaking schemes;
+//! * [`WeightedSpt`] / [`BfsTree`] — shortest-path trees with path
+//!   extraction;
+//! * [`NextHopTable`] — routing tables in the MPLS sense (consistency of a
+//!   tiebreaking scheme is exactly what makes these well defined);
+//! * [`generators`] — the graph families used across tests and experiments,
+//!   including the 4-cycle of Theorem 37 and workloads for the benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_graph::{generators, bfs, FaultSet};
+//!
+//! let g = generators::cycle(5);
+//! let tree = bfs(&g, 0, &FaultSet::empty());
+//! assert_eq!(tree.dist(2), Some(2));
+//!
+//! // Fail one edge of the cycle: distances re-route the long way.
+//! let e = g.edge_between(0, 1).unwrap();
+//! let tree = bfs(&g, 0, &FaultSet::single(e));
+//! assert_eq!(tree.dist(1), Some(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bfs;
+mod builder;
+mod connectivity;
+mod dijkstra;
+mod fault;
+pub mod generators;
+mod graph;
+mod io;
+mod path;
+mod routing;
+mod spt;
+mod weights;
+
+pub use bfs::{bfs, bfs_all_pairs, BfsTree};
+pub use builder::{GraphBuilder, GraphError};
+pub use connectivity::{
+    components, connected_pair, diameter, is_connected, is_connected_avoiding,
+};
+pub use dijkstra::dijkstra;
+pub use fault::FaultSet;
+pub use graph::{EdgeId, Graph, Vertex};
+pub use io::{from_edge_list_str, to_edge_list_string, ParseGraphError};
+pub use path::Path;
+pub use routing::NextHopTable;
+pub use spt::WeightedSpt;
+pub use weights::{weighted_sssp, EdgeWeights};

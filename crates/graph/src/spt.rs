@@ -1,0 +1,108 @@
+//! Weighted shortest-path trees, the output of the exact-cost Dijkstra.
+
+use rsp_arith::PathCost;
+
+use crate::graph::{EdgeId, Vertex};
+use crate::path::Path;
+
+/// A shortest-path tree under exact perturbed costs.
+///
+/// Produced by [`crate::dijkstra`]. When the edge costs come from an
+/// antisymmetric tiebreaking weight function, shortest paths in `G* \ F` are
+/// unique and this tree *is* the paper's tiebreaking scheme `π(·, · | F)`
+/// restricted to one source: `path_to(v) = π(source, v | F)`.
+///
+/// [`WeightedSpt::ties_detected`] reports whether Dijkstra ever saw two
+/// equal-cost ways to reach a vertex. For a valid tiebreaking weight
+/// function this must be `false`; the verifiers in `rsp-core` assert it.
+#[derive(Clone, Debug)]
+pub struct WeightedSpt<C> {
+    source: Vertex,
+    parent: Vec<Option<(Vertex, EdgeId)>>,
+    cost: Vec<Option<C>>,
+    hops: Vec<u32>,
+    ties: bool,
+}
+
+impl<C: PathCost> WeightedSpt<C> {
+    pub(crate) fn new(
+        source: Vertex,
+        parent: Vec<Option<(Vertex, EdgeId)>>,
+        cost: Vec<Option<C>>,
+        hops: Vec<u32>,
+        ties: bool,
+    ) -> Self {
+        WeightedSpt { source, parent, cost, hops, ties }
+    }
+
+    /// The tree's root.
+    pub fn source(&self) -> Vertex {
+        self.source
+    }
+
+    /// Exact perturbed cost of the source-to-`v` path, or `None` if
+    /// unreachable.
+    pub fn cost(&self, v: Vertex) -> Option<&C> {
+        self.cost[v].as_ref()
+    }
+
+    /// Number of edges on the source-to-`v` tree path.
+    ///
+    /// Because tiebreaking weights only perturb *within* a hop class, this
+    /// equals the unweighted distance whenever `v` is reachable.
+    pub fn hops(&self, v: Vertex) -> Option<u32> {
+        self.cost[v].as_ref().map(|_| self.hops[v])
+    }
+
+    /// Parent of `v` in the tree as `(vertex, edge id)`.
+    pub fn parent(&self, v: Vertex) -> Option<(Vertex, EdgeId)> {
+        self.parent[v]
+    }
+
+    /// The (unique) minimum-cost source-to-`v` path, or `None` if
+    /// unreachable.
+    pub fn path_to(&self, v: Vertex) -> Option<Path> {
+        self.cost[v].as_ref()?;
+        let mut verts = vec![v];
+        let mut cur = v;
+        while let Some((p, _)) = self.parent[cur] {
+            verts.push(p);
+            cur = p;
+        }
+        verts.reverse();
+        debug_assert_eq!(verts[0], self.source);
+        Some(Path::new(verts))
+    }
+
+    /// `true` iff Dijkstra observed two equal-cost ways to reach some vertex.
+    ///
+    /// A correct tiebreaking weight function makes all shortest paths unique,
+    /// so this is the cheap runtime witness that the perturbation worked.
+    pub fn ties_detected(&self) -> bool {
+        self.ties
+    }
+
+    /// All tree edge ids (one per reachable non-source vertex).
+    pub fn tree_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.parent.iter().filter_map(|p| p.map(|(_, e)| e))
+    }
+
+    /// Number of reachable vertices (including the source).
+    pub fn reachable_count(&self) -> usize {
+        self.cost.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Views this weighted tree through the unweighted tree interface,
+    /// discarding exact costs but keeping hop counts and parent pointers.
+    ///
+    /// Because tiebreaking weights only perturb within a hop class, the hop
+    /// counts of a tiebreaking SPT are genuine unweighted distances, so the
+    /// result is a valid BFS tree of `G \ F` — precisely Lemma 34's
+    /// observation that "any shortest path tree under ω is also a legit BFS
+    /// tree".
+    pub fn to_bfs_tree(&self) -> crate::BfsTree {
+        let dist =
+            self.cost.iter().zip(&self.hops).map(|(c, &h)| c.as_ref().map(|_| h)).collect();
+        crate::BfsTree::from_parts(self.source, dist, self.parent.clone())
+    }
+}

@@ -1,0 +1,181 @@
+//! Bit-packing substrate: labels are *bitstrings*, and the paper's size
+//! bounds are stated in bits, so the encoder packs fields at bit
+//! granularity rather than rounding every field to bytes.
+
+/// An append-only bit buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_labeling::{BitWriter, BitReader};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(5, 3);
+/// w.write_bits(1023, 10);
+/// assert_eq!(w.bit_len(), 13);
+/// let mut r = BitReader::new(w.as_bytes());
+/// assert_eq!(r.read_bits(3), Some(5));
+/// assert_eq!(r.read_bits(10), Some(1023));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` has bits above `width`.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} too large");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.bit_len / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            if bit == 1 {
+                self.bytes[byte_idx] |= 1 << (7 - (self.bit_len % 8));
+            }
+            self.bit_len += 1;
+        }
+    }
+
+    /// Number of bits written.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// The underlying bytes (the last byte may be partially used).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the writer, returning bytes and exact bit length.
+    pub fn into_parts(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.bit_len)
+    }
+}
+
+/// A sequential bit reader over a byte slice.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Starts reading from the first bit of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `width` bits (most significant first); `None` if the buffer
+    /// is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn read_bits(&mut self, width: u32) -> Option<u64> {
+        assert!(width <= 64, "width {width} too large");
+        if self.pos + width as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut out = 0u64;
+        for _ in 0..width {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Some(out)
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Bits needed to address values in `0..n` (at least 1).
+pub fn width_for(n: usize) -> u32 {
+    (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let fields = [(0u64, 1u32), (1, 1), (7, 3), (255, 8), (12345, 14), (u64::MAX, 64)];
+        let mut w = BitWriter::new();
+        for &(v, width) in &fields {
+            w.write_bits(v, width);
+        }
+        let mut r = BitReader::new(w.as_bytes());
+        for &(v, width) in &fields {
+            assert_eq!(r.read_bits(width), Some(v));
+        }
+    }
+
+    #[test]
+    fn exact_bit_accounting() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 2);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 7);
+        assert_eq!(w.as_bytes().len(), 1);
+        w.write_bits(1, 1);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 9);
+        assert_eq!(w.as_bytes().len(), 2);
+    }
+
+    #[test]
+    fn reader_exhaustion() {
+        let mut w = BitWriter::new();
+        w.write_bits(5, 3);
+        let (bytes, _) = w.into_parts();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0b1010_0000));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        BitWriter::new().write_bits(4, 2);
+    }
+
+    #[test]
+    fn width_for_ranges() {
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 1);
+        assert_eq!(width_for(3), 2);
+        assert_eq!(width_for(256), 8);
+        assert_eq!(width_for(257), 9);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let (bytes, _) = w.into_parts();
+        let mut r = BitReader::new(&bytes);
+        let _ = r.read_bits(2);
+        assert_eq!(r.position(), 2);
+    }
+}

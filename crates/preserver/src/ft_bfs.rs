@@ -1,0 +1,244 @@
+//! Preserver construction by replacement-path overlay (Theorems 26 and 31).
+
+use std::collections::HashSet;
+
+use rsp_core::Rpts;
+use rsp_graph::{EdgeId, FaultSet, Graph, Vertex};
+
+/// A preserver: a subset of `G`'s edges, plus build statistics.
+///
+/// The subgraph view is materialized on demand by [`Preserver::subgraph`];
+/// edge ids refer to the *original* graph throughout.
+#[derive(Clone, Debug)]
+pub struct Preserver {
+    n: usize,
+    edges: Vec<EdgeId>,
+    trees_computed: usize,
+}
+
+impl Preserver {
+    fn new(n: usize, edges: HashSet<EdgeId>, trees_computed: usize) -> Self {
+        let mut edges: Vec<EdgeId> = edges.into_iter().collect();
+        edges.sort_unstable();
+        Preserver { n, edges, trees_computed }
+    }
+
+    /// Number of edges in the preserver — the size objective all of
+    /// Section 4.1's bounds are about.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The preserver's edge ids (in the original graph), sorted.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Returns `true` iff edge `e` of the original graph is kept.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Materializes the preserver as a standalone graph over the same
+    /// vertex set (edge ids are renumbered; use [`Preserver::edges`] for
+    /// original ids).
+    pub fn subgraph(&self, g: &Graph) -> Graph {
+        assert_eq!(g.n(), self.n, "preserver belongs to a different graph");
+        g.edge_subgraph(self.edges.iter().copied())
+    }
+
+    /// Number of shortest-path trees computed during the build (a proxy
+    /// for construction cost; the fault-set enumeration is exponential in
+    /// `f`, as the paper notes the naive runtime is `n^{O(f)}`).
+    pub fn trees_computed(&self) -> usize {
+        self.trees_computed
+    }
+}
+
+/// Overlays the selected replacement paths `π(s, t | F)` for an explicit
+/// collection of `(source, fault set)` queries, keeping every tree edge.
+///
+/// This is the raw primitive behind all preserver constructions; it is
+/// public because the lower-bound experiment needs overlay over a
+/// *specific* fault-set family rather than all `|F| ≤ f`.
+///
+/// For each `(s, F)` pair the full selected tree is overlaid (every tree
+/// edge lies on `π(s, v | F)` for some `v`, and conversely).
+pub fn overlay_paths<S: Rpts>(
+    scheme: &S,
+    queries: impl IntoIterator<Item = (Vertex, FaultSet)>,
+) -> Preserver {
+    let mut edges = HashSet::new();
+    let mut trees = 0;
+    for (s, faults) in queries {
+        let tree = scheme.tree_from(s, &faults);
+        trees += 1;
+        edges.extend(tree.tree_edges());
+    }
+    Preserver::new(scheme.graph().n(), edges, trees)
+}
+
+/// The `f`-FT `{s} × V` preserver (FT-BFS structure) by overlay of all
+/// replacement paths under `≤ f` faults (Theorem 26 with `|S| = 1`).
+///
+/// Relevant fault sets are enumerated via stability: starting from `∅`,
+/// a fault set only ever grows by an edge of the *current* selected tree.
+/// Any `π(s, v | F)` with arbitrary `|F| ≤ f` equals `π(s, v | R)` for
+/// some enumerated `R ⊆ F` (repeatedly discard faults off the selected
+/// path), so the overlay is a true preserver — `O(n^f)` trees in the
+/// worst case, as the paper notes.
+pub fn ft_bfs_structure<S: Rpts>(scheme: &S, s: Vertex, f: usize) -> Preserver {
+    let mut edges = HashSet::new();
+    let mut visited: HashSet<FaultSet> = HashSet::new();
+    let mut stack = vec![FaultSet::empty()];
+    let mut trees = 0;
+    while let Some(faults) = stack.pop() {
+        if !visited.insert(faults.clone()) {
+            continue;
+        }
+        let tree = scheme.tree_from(s, &faults);
+        trees += 1;
+        let tree_edges: Vec<EdgeId> = tree.tree_edges().collect();
+        edges.extend(tree_edges.iter().copied());
+        if faults.len() < f {
+            for &e in &tree_edges {
+                stack.push(faults.with(e));
+            }
+        }
+    }
+    Preserver::new(scheme.graph().n(), edges, trees)
+}
+
+/// The `f`-FT `S × V` preserver of Theorem 26: the union of per-source
+/// FT-BFS structures. Size `O(n^{2−1/2^f} |S|^{1/2^f})` when the scheme is
+/// consistent and stable.
+pub fn ft_sv_preserver<S: Rpts>(scheme: &S, sources: &[Vertex], f: usize) -> Preserver {
+    let mut edges = HashSet::new();
+    let mut trees = 0;
+    for &s in sources {
+        let p = ft_bfs_structure(scheme, s, f);
+        trees += p.trees_computed();
+        edges.extend(p.edges().iter().copied());
+    }
+    Preserver::new(scheme.graph().n(), edges, trees)
+}
+
+/// The `f_total`-FT `S × S` preserver of Theorem 31, built as an
+/// `(f_total − 1)`-FT `S × V` preserver under a restorable scheme.
+///
+/// Restorability supplies the extra fault: for `|F| ≤ f_total` there are
+/// `x` and `F′ ⊊ F` with `π(s, x | F′) ∪ π(t, x | F′)` a replacement
+/// path, and both halves are already overlaid (|F′| ≤ f_total − 1).
+///
+/// # Panics
+///
+/// Panics if `f_total == 0` (a 0-FT preserver is just the union of SPTs;
+/// use [`ft_sv_preserver`] with `f = 0`).
+pub fn ft_subset_preserver<S: Rpts>(scheme: &S, sources: &[Vertex], f_total: usize) -> Preserver {
+    assert!(f_total >= 1, "subset preservers tolerate at least one fault");
+    ft_sv_preserver(scheme, sources, f_total - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_preserver, PairSet};
+    use rsp_core::{verify::all_fault_sets, RandomGridAtw};
+    use rsp_graph::generators;
+
+    #[test]
+    fn zero_fault_structure_is_a_tree() {
+        let g = generators::connected_gnm(20, 45, 1);
+        let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
+        let p = ft_bfs_structure(&scheme, 0, 0);
+        assert_eq!(p.edge_count(), g.n() - 1, "one SPT = spanning tree");
+        assert_eq!(p.trees_computed(), 1);
+    }
+
+    #[test]
+    fn one_fault_structure_preserves_sv_distances() {
+        let g = generators::connected_gnm(16, 34, 2);
+        let scheme = RandomGridAtw::theorem20(&g, 2).into_scheme();
+        let p = ft_bfs_structure(&scheme, 0, 1);
+        let singles = all_fault_sets(g.m(), 1);
+        verify_preserver(&g, &p, &PairSet::sourcewise(vec![0], g.n()), &singles).unwrap();
+    }
+
+    #[test]
+    fn two_fault_structure_preserves_sv_distances() {
+        let g = generators::connected_gnm(12, 22, 3);
+        let scheme = RandomGridAtw::theorem20(&g, 3).into_scheme();
+        let p = ft_bfs_structure(&scheme, 0, 2);
+        let doubles = all_fault_sets(g.m(), 2);
+        verify_preserver(&g, &p, &PairSet::sourcewise(vec![0], g.n()), &doubles).unwrap();
+    }
+
+    #[test]
+    fn subset_preserver_one_fault_is_union_of_trees() {
+        let g = generators::connected_gnm(25, 60, 4);
+        let scheme = RandomGridAtw::theorem20(&g, 4).into_scheme();
+        let sources = vec![0, 5, 10];
+        let p = ft_subset_preserver(&scheme, &sources, 1);
+        assert!(p.edge_count() <= sources.len() * (g.n() - 1), "|S| SPTs");
+        let singles = all_fault_sets(g.m(), 1);
+        verify_preserver(&g, &p, &PairSet::subset(sources), &singles).unwrap();
+    }
+
+    #[test]
+    fn subset_preserver_two_faults() {
+        // Theorem 31 with f_total = 2: overlay of 1-FT {s}×V preservers
+        // must preserve S×S distances under any TWO faults.
+        let g = generators::connected_gnm(12, 24, 5);
+        let scheme = RandomGridAtw::theorem20(&g, 5).into_scheme();
+        let sources = vec![0, 4, 8];
+        let p = ft_subset_preserver(&scheme, &sources, 2);
+        let doubles = all_fault_sets(g.m(), 2);
+        verify_preserver(&g, &p, &PairSet::subset(sources), &doubles).unwrap();
+    }
+
+    #[test]
+    fn overlay_paths_counts_trees() {
+        let g = generators::cycle(6);
+        let scheme = RandomGridAtw::theorem20(&g, 6).into_scheme();
+        let p = overlay_paths(
+            &scheme,
+            [(0, FaultSet::empty()), (0, FaultSet::single(0)), (3, FaultSet::empty())],
+        );
+        assert_eq!(p.trees_computed(), 3);
+        assert!(p.edge_count() >= g.n() - 1);
+    }
+
+    #[test]
+    fn preserver_edges_are_sorted_and_queryable() {
+        let g = generators::petersen();
+        let scheme = RandomGridAtw::theorem20(&g, 8).into_scheme();
+        let p = ft_bfs_structure(&scheme, 0, 1);
+        let edges = p.edges();
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        for &e in edges {
+            assert!(p.contains(e));
+        }
+        assert!(p.edge_count() < g.m(), "preserver should be sparser than G");
+    }
+
+    #[test]
+    fn subgraph_roundtrip() {
+        let g = generators::grid(3, 4);
+        let scheme = RandomGridAtw::theorem20(&g, 9).into_scheme();
+        let p = ft_bfs_structure(&scheme, 0, 1);
+        let h = p.subgraph(&g);
+        assert_eq!(h.n(), g.n());
+        assert_eq!(h.m(), p.edge_count());
+    }
+
+    #[test]
+    fn deeper_f_means_more_edges() {
+        let g = generators::connected_gnm(14, 40, 7);
+        let scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
+        let p0 = ft_bfs_structure(&scheme, 0, 0).edge_count();
+        let p1 = ft_bfs_structure(&scheme, 0, 1).edge_count();
+        let p2 = ft_bfs_structure(&scheme, 0, 2).edge_count();
+        assert!(p0 <= p1 && p1 <= p2);
+        assert!(p1 > p0, "one fault must add replacement paths on this graph");
+    }
+}

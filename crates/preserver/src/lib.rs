@@ -1,0 +1,52 @@
+//! Fault-tolerant distance preservers (Section 4.1 of Bodwin & Parter).
+//!
+//! An `S × T` `f`-FT preserver (Definition 4) is a subgraph `H ⊆ G` with
+//! `dist_{H\F}(s, t) = dist_{G\F}(s, t)` for all `s ∈ S`, `t ∈ T`, and
+//! `|F| ≤ f`. This crate builds them the paper's way:
+//!
+//! * [`ft_sv_preserver`] — overlay all `S × V` replacement paths selected
+//!   by a consistent stable RPTS under `≤ f` faults (Theorem 26; the
+//!   relevant fault sets are enumerated through stability, growing each
+//!   fault set only by edges of the current tree);
+//! * [`ft_subset_preserver`] — the `(f+1)`-FT `S × S` preserver of
+//!   Theorem 31: the union of `f`-FT `{s} × V` preservers under a
+//!   *restorable* scheme. Restorability is what upgrades `f` to `f + 1`
+//!   for subset pairs. For `f + 1 = 1` this degenerates to a union of
+//!   SPTs — the paper's "simply take the union of BFS trees" remark;
+//! * [`verify_preserver`] — ground-truth verification under exhaustive or
+//!   sampled fault sets;
+//! * [`lower_bound`] — the `G_f(d)` / `G*_f(V, E, W)` family of Theorem 27
+//!   (Appendix B, Figures 2–3): a *bad* consistent stable scheme forcing
+//!   `Ω(n^{2−1/2^f} σ^{1/2^f})` preserver edges, together with the
+//!   perturbation-based comparison showing random tiebreaking escapes the
+//!   bound on the same graph.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_core::RandomGridAtw;
+//! use rsp_preserver::{ft_subset_preserver, verify_preserver, PairSet};
+//! use rsp_graph::generators;
+//!
+//! let g = generators::petersen();
+//! let scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
+//! // 1-FT S×S preserver: union of two restorable-scheme SPTs.
+//! let h = ft_subset_preserver(&scheme, &[0, 5], 1);
+//! assert!(h.edge_count() <= 2 * (g.n() - 1));
+//! let faults: Vec<_> = g.edges().map(|(e, _, _)| rsp_graph::FaultSet::single(e)).collect();
+//! verify_preserver(&g, &h, &PairSet::subset(vec![0, 5]), &faults).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ft_bfs;
+pub mod lower_bound;
+mod verify;
+
+pub use ft_bfs::{
+    ft_bfs_structure, ft_subset_preserver, ft_sv_preserver, overlay_paths, Preserver,
+};
+pub use verify::{
+    translate_faults, verify_preserver, verify_preserver_counting, PairSet, PreserverViolation,
+};

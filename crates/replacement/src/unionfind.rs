@@ -1,0 +1,166 @@
+//! The "next free position" union-find used by the candidate sweep.
+//!
+//! Theorem 28's proof sketch steps through candidate replacement paths in
+//! weight order and labels the still-unlabeled path edges each candidate
+//! covers. The data structure that makes the sweep near-linear is a
+//! union-find where `find(i)` returns the smallest *unmarked* position
+//! `≥ i`; marking a position unions it with its successor.
+
+/// Union-find over positions `0..k` answering "smallest unmarked position
+/// `≥ i`" with path compression (amortized inverse-Ackermann).
+///
+/// # Examples
+///
+/// ```
+/// use rsp_replacement::NextFree;
+///
+/// let mut nf = NextFree::new(4);
+/// assert_eq!(nf.find(0), Some(0));
+/// nf.mark(0);
+/// nf.mark(1);
+/// assert_eq!(nf.find(0), Some(2));
+/// nf.mark(2);
+/// nf.mark(3);
+/// assert_eq!(nf.find(0), None); // everything marked
+/// ```
+#[derive(Clone, Debug)]
+pub struct NextFree {
+    /// `parent[i]` is a position `≥ i` on the way to the next free slot;
+    /// index `k` is the "all full" sentinel.
+    parent: Vec<usize>,
+}
+
+impl NextFree {
+    /// Creates the structure with all of `0..k` unmarked.
+    pub fn new(k: usize) -> Self {
+        NextFree { parent: (0..=k).collect() }
+    }
+
+    /// Number of positions (excluding the sentinel).
+    pub fn len(&self) -> usize {
+        self.parent.len() - 1
+    }
+
+    /// Returns `true` if there are no positions at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The smallest unmarked position `≥ i`, or `None` if all of `i..k`
+    /// are marked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > k`.
+    pub fn find(&mut self, i: usize) -> Option<usize> {
+        let k = self.len();
+        assert!(i <= k, "position {i} out of range 0..={k}");
+        let root = self.find_root(i);
+        if root == k {
+            None
+        } else {
+            Some(root)
+        }
+    }
+
+    fn find_root(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = i;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Marks position `i` as used; subsequent `find` skips it.
+    ///
+    /// Marking an already marked position is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn mark(&mut self, i: usize) {
+        assert!(i < self.len(), "cannot mark the sentinel");
+        if self.parent[i] == i {
+            self.parent[i] = self.find_root(i + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_structure_returns_identity() {
+        let mut nf = NextFree::new(5);
+        for i in 0..5 {
+            assert_eq!(nf.find(i), Some(i));
+        }
+    }
+
+    #[test]
+    fn skips_marked_runs() {
+        let mut nf = NextFree::new(6);
+        for i in [1, 2, 3] {
+            nf.mark(i);
+        }
+        assert_eq!(nf.find(1), Some(4));
+        assert_eq!(nf.find(0), Some(0));
+        nf.mark(0);
+        assert_eq!(nf.find(0), Some(4));
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut nf = NextFree::new(3);
+        for i in 0..3 {
+            nf.mark(i);
+        }
+        assert_eq!(nf.find(0), None);
+        assert_eq!(nf.find(3), None);
+    }
+
+    #[test]
+    fn double_mark_is_noop() {
+        let mut nf = NextFree::new(3);
+        nf.mark(1);
+        nf.mark(1);
+        assert_eq!(nf.find(0), Some(0));
+        assert_eq!(nf.find(1), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let mut nf = NextFree::new(0);
+        assert!(nf.is_empty());
+        assert_eq!(nf.find(0), None);
+    }
+
+    #[test]
+    fn interval_sweep_pattern() {
+        // The exact usage pattern of the candidate sweep: repeatedly find
+        // in an interval and mark.
+        let mut nf = NextFree::new(10);
+        let mut labeled = Vec::new();
+        let (lo, hi) = (2, 7);
+        let mut i = nf.find(lo);
+        while let Some(p) = i {
+            if p > hi {
+                break;
+            }
+            labeled.push(p);
+            nf.mark(p);
+            i = nf.find(p);
+        }
+        assert_eq!(labeled, vec![2, 3, 4, 5, 6, 7]);
+        assert_eq!(nf.find(0), Some(0));
+        assert_eq!(nf.find(2), Some(8));
+    }
+}

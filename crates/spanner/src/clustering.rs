@@ -1,0 +1,217 @@
+//! The clustering construction of Lemma 32.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rsp_core::Rpts;
+use rsp_graph::{EdgeId, Graph, Vertex};
+use rsp_preserver::ft_subset_preserver;
+
+/// An `f`-FT +4 additive spanner with its build statistics.
+#[derive(Clone, Debug)]
+pub struct Spanner {
+    n: usize,
+    edges: Vec<EdgeId>,
+    centers: Vec<Vertex>,
+    clustered: usize,
+    preserver_edges: usize,
+    faults_tolerated: usize,
+}
+
+impl Spanner {
+    /// Number of edges — the size objective of Theorem 33.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The spanner's edge ids (in the original graph), sorted.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// The sampled cluster centers `C`.
+    pub fn centers(&self) -> &[Vertex] {
+        &self.centers
+    }
+
+    /// How many vertices were clustered (kept only `f + 1` center edges).
+    pub fn clustered_count(&self) -> usize {
+        self.clustered
+    }
+
+    /// Edges contributed by the `C × C` subset preserver.
+    pub fn preserver_edge_count(&self) -> usize {
+        self.preserver_edges
+    }
+
+    /// The fault budget `f` the spanner was built for.
+    pub fn faults_tolerated(&self) -> usize {
+        self.faults_tolerated
+    }
+
+    /// Materializes the spanner as a standalone graph on the same
+    /// vertex set.
+    pub fn subgraph(&self, g: &Graph) -> Graph {
+        assert_eq!(g.n(), self.n, "spanner belongs to a different graph");
+        g.edge_subgraph(self.edges.iter().copied())
+    }
+}
+
+/// Builds an `f`-FT +4 additive spanner with `σ = sigma` random cluster
+/// centers (Lemma 32 over the Theorem 31 subset preserver).
+///
+/// `f ≥ 1` is the number of tolerated edge faults. The stretch guarantee
+/// is deterministic; only the edge count is randomized (repeat with
+/// different seeds and keep the sparsest to boost the bound, as the paper
+/// notes).
+///
+/// # Panics
+///
+/// Panics if `f == 0`, `sigma == 0`, or `sigma > n`.
+pub fn ft_additive_spanner<S: Rpts>(scheme: &S, sigma: usize, f: usize, seed: u64) -> Spanner {
+    assert!(f >= 1, "the fault-tolerant construction starts at one fault");
+    let g = scheme.graph();
+    assert!(sigma >= 1 && sigma <= g.n(), "need 1 <= sigma <= n");
+
+    // Step 1: sample the centers.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<Vertex> = g.vertices().collect();
+    perm.shuffle(&mut rng);
+    let mut centers: Vec<Vertex> = perm.into_iter().take(sigma).collect();
+    centers.sort_unstable();
+    let mut is_center = vec![false; g.n()];
+    for &c in &centers {
+        is_center[c] = true;
+    }
+
+    // Step 2: clustering. Clustered vertices keep f + 1 center edges;
+    // unclustered vertices keep everything.
+    let mut keep = vec![false; g.m()];
+    let mut clustered = 0;
+    for v in g.vertices() {
+        let center_edges: Vec<EdgeId> =
+            g.neighbors(v).filter(|&(u, _)| is_center[u]).map(|(_, e)| e).collect();
+        if center_edges.len() >= f + 1 {
+            clustered += 1;
+            for &e in center_edges.iter().take(f + 1) {
+                keep[e] = true;
+            }
+        } else {
+            for (_, e) in g.neighbors(v) {
+                keep[e] = true;
+            }
+        }
+    }
+
+    // Step 3: the f-FT C × C subset distance preserver (Theorem 31).
+    let preserver = ft_subset_preserver(scheme, &centers, f);
+    let preserver_edges = preserver.edge_count();
+    for &e in preserver.edges() {
+        keep[e] = true;
+    }
+
+    let edges: Vec<EdgeId> = (0..g.m()).filter(|&e| keep[e]).collect();
+    Spanner {
+        n: g.n(),
+        edges,
+        centers,
+        clustered,
+        preserver_edges,
+        faults_tolerated: f,
+    }
+}
+
+/// The Theorem 33 balancing choice of `σ` for an `f`-tolerated-fault
+/// spanner: `σ = ⌈n^{1/(2^{f−1}+1)}⌉` (the theorem's parameter is
+/// `f' = f − 1`, and it picks `σ = n^{1/(2^{f'}+1)}`).
+///
+/// # Panics
+///
+/// Panics if `f == 0`.
+pub fn theorem33_sigma(n: usize, f: usize) -> usize {
+    assert!(f >= 1, "fault budget starts at one");
+    let exp = 1.0 / ((1u64 << (f - 1)) as f64 + 1.0);
+    ((n as f64).powf(exp).ceil() as usize).clamp(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_spanner_stretch;
+    use rsp_core::{verify::sample_fault_sets, RandomGridAtw};
+    use rsp_graph::{generators, FaultSet};
+
+    #[test]
+    fn spanner_is_subgraph_and_contains_preserver() {
+        let g = generators::connected_gnm(30, 90, 2);
+        let scheme = RandomGridAtw::theorem20(&g, 2).into_scheme();
+        let sp = ft_additive_spanner(&scheme, 5, 1, 3);
+        assert!(sp.edge_count() <= g.m());
+        assert!(sp.preserver_edge_count() <= sp.edge_count());
+        assert_eq!(sp.centers().len(), 5);
+        assert_eq!(sp.faults_tolerated(), 1);
+    }
+
+    #[test]
+    fn one_fault_stretch_holds_exhaustively() {
+        let g = generators::connected_gnm(24, 70, 4);
+        let scheme = RandomGridAtw::theorem20(&g, 4).into_scheme();
+        let sp = ft_additive_spanner(&scheme, 5, 1, 5);
+        let singles: Vec<FaultSet> = g.edges().map(|(e, _, _)| FaultSet::single(e)).collect();
+        verify_spanner_stretch(&g, &sp, 4, &singles).unwrap();
+    }
+
+    #[test]
+    fn two_fault_stretch_holds_on_samples() {
+        let g = generators::connected_gnm(18, 44, 6);
+        let scheme = RandomGridAtw::theorem20(&g, 6).into_scheme();
+        let sp = ft_additive_spanner(&scheme, 4, 2, 7);
+        let doubles = sample_fault_sets(g.m(), 2, 25, 8);
+        verify_spanner_stretch(&g, &sp, 4, &doubles).unwrap();
+    }
+
+    #[test]
+    fn dense_graph_gets_sparsified() {
+        // On a dense random graph the spanner should drop a constant
+        // fraction of edges at a sensible sigma.
+        let n = 60;
+        let g = generators::connected_gnm(n, n * (n - 1) / 4, 9);
+        let scheme = RandomGridAtw::theorem20(&g, 9).into_scheme();
+        let sigma = theorem33_sigma(n, 1);
+        let sp = ft_additive_spanner(&scheme, sigma, 1, 10);
+        assert!(
+            sp.edge_count() < g.m(),
+            "spanner {} should be sparser than G {}",
+            sp.edge_count(),
+            g.m()
+        );
+    }
+
+    #[test]
+    fn sigma_balancing_is_monotone() {
+        // Higher fault budgets use smaller exponents, hence fewer centers.
+        let n = 10_000;
+        let s1 = theorem33_sigma(n, 1);
+        let s2 = theorem33_sigma(n, 2);
+        let s3 = theorem33_sigma(n, 3);
+        assert!(s1 >= s2 && s2 >= s3);
+        assert_eq!(s1, 100, "n^{{1/2}} for one fault");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::connected_gnm(20, 50, 1);
+        let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
+        let a = ft_additive_spanner(&scheme, 4, 1, 42);
+        let b = ft_additive_spanner(&scheme, 4, 1, 42);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "one fault")]
+    fn zero_faults_rejected() {
+        let g = generators::cycle(5);
+        let scheme = RandomGridAtw::theorem20(&g, 0).into_scheme();
+        let _ = ft_additive_spanner(&scheme, 2, 0, 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Distributed construction in the CONGEST simulator (Section 4.5):
+//! build a 1-FT subset preserver and a +4 spanner with message-passing
+//! node programs, and watch the round/congestion accounting.
+//!
+//! ```text
+//! cargo run --example distributed_preserver
+//! ```
+
+use restorable_tiebreaking::congest::{
+    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt,
+    theorem8_round_bound,
+};
+use restorable_tiebreaking::core::RandomGridAtw;
+use restorable_tiebreaking::graph::{diameter, generators};
+
+fn main() {
+    let g = generators::torus(8, 8);
+    let d = diameter(&g);
+    println!("network: 8x8 torus, n = {}, m = {}, D = {d}\n", g.n(), g.m());
+
+    // Lemma 34: one tie-breaking SPT in O(D) rounds, O(1) msgs/edge.
+    let scheme = RandomGridAtw::corollary22(&g, 1, 1, 5).into_scheme();
+    let spt = distributed_spt(&g, &scheme, 0).expect("protocol obeys CONGEST quota");
+    println!(
+        "Lemma 34 SPT from node 0: {} rounds (D = {d}), max {} msgs/edge, {} bit messages",
+        spt.stats.rounds, spt.stats.max_messages_per_edge, spt.stats.max_message_bits,
+    );
+
+    // Lemma 36: the 1-FT S x S preserver, distributedly.
+    let sources: Vec<usize> = (0..8).map(|i| i * 8).collect();
+    let p = distributed_1ft_subset_preserver(&g, &sources, 11).expect("quota obeyed");
+    println!(
+        "\nLemma 36 preserver over {} sources: {} rounds, {} edges (bound |S|n = {})",
+        sources.len(),
+        p.stats.rounds,
+        p.edge_count(),
+        sources.len() * g.n(),
+    );
+
+    // Corollary 9(1): the distributed 1-FT +4 spanner.
+    let sp = distributed_ft_spanner(&g, 8, 13).expect("quota obeyed");
+    println!(
+        "Cor 9(1) +4 spanner: {} rounds, {} edges of {} (x{:.2} sparsification)",
+        sp.stats.rounds,
+        sp.edge_count(),
+        g.m(),
+        g.m() as f64 / sp.edge_count() as f64,
+    );
+
+    // The black-boxed higher-fault round bounds (Theorem 8).
+    println!("\nTheorem 8 round bounds at this scale (log factors dropped):");
+    for f in 1..=3 {
+        println!(
+            "  {f}-FT S x S preserver: ~{:.0} rounds",
+            theorem8_round_bound(g.n(), d as usize, sources.len(), f)
+        );
+    }
+}

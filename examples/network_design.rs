@@ -1,0 +1,60 @@
+//! Fault-tolerant network design: preservers, spanners, and the sizes the
+//! theory promises (Sections 4.1 and 4.4).
+//!
+//! Scenario: a dense data-center-ish fabric must be thinned to a sparse
+//! backup overlay that (a) preserves exact distances among a set of
+//! gateway nodes under any 2 simultaneous link failures, and (b) keeps
+//! all-pairs distances within +4 under any single failure.
+//!
+//! ```text
+//! cargo run --example network_design
+//! ```
+
+use restorable_tiebreaking::core::{verify::sample_fault_sets, RandomGridAtw};
+use restorable_tiebreaking::graph::generators;
+use restorable_tiebreaking::preserver::{ft_subset_preserver, verify_preserver, PairSet};
+use restorable_tiebreaking::spanner::{
+    ft_additive_spanner, theorem33_sigma, verify_spanner_stretch,
+};
+
+fn main() {
+    let n = 80;
+    let g = generators::connected_gnm(n, n * (n - 1) / 6, 2024);
+    println!("fabric: n = {}, m = {} (dense)", g.n(), g.m());
+
+    let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
+
+    // (a) 2-FT subset preserver over 5 gateways (Theorem 31).
+    let gateways = vec![0, 16, 32, 48, 64];
+    let preserver = ft_subset_preserver(&scheme, &gateways, 2);
+    println!(
+        "\n2-FT gateway preserver: {} edges ({}% of fabric)",
+        preserver.edge_count(),
+        100 * preserver.edge_count() / g.m()
+    );
+    let faults = sample_fault_sets(g.m(), 2, 40, 7);
+    verify_preserver(&g, &preserver, &PairSet::subset(gateways.clone()), &faults)
+        .expect("exact gateway distances preserved under 2 faults");
+    println!("verified: exact gateway-to-gateway distances under 40 sampled 2-fault sets");
+
+    // (b) 1-FT +4 additive spanner for everyone (Theorem 7).
+    let sigma = theorem33_sigma(g.n(), 1);
+    let spanner = ft_additive_spanner(&scheme, sigma, 1, 99);
+    println!(
+        "\n1-FT +4 spanner: {} edges ({}% of fabric), {} cluster centers, {} clustered nodes",
+        spanner.edge_count(),
+        100 * spanner.edge_count() / g.m(),
+        spanner.centers().len(),
+        spanner.clustered_count(),
+    );
+    let single_faults = sample_fault_sets(g.m(), 1, 30, 9);
+    verify_spanner_stretch(&g, &spanner, 4, &single_faults)
+        .expect("+4 stretch under any sampled failure");
+    println!("verified: all-pairs distances within +4 under 30 sampled single failures");
+
+    println!(
+        "\nbound check: spanner edges {} vs O(n^1.5) = {:.0}",
+        spanner.edge_count(),
+        (g.n() as f64).powf(1.5)
+    );
+}

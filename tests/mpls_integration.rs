@@ -1,0 +1,88 @@
+//! MPLS failover over random topologies: every single-link failure must
+//! be restored optimally by table splicing when the tables come from a
+//! restorable scheme.
+
+use restorable_tiebreaking::core::RandomGridAtw;
+use restorable_tiebreaking::graph::{connected_pair, generators, FaultSet};
+use restorable_tiebreaking::mpls::{MplsError, MplsNetwork};
+
+#[test]
+fn every_single_failure_restores_optimally_on_random_graphs() {
+    for seed in 0..3 {
+        let g = generators::connected_gnm(20, 45, seed);
+        let scheme = RandomGridAtw::theorem20(&g, seed + 9).into_scheme();
+        for (e, _, _) in g.edges() {
+            for (s, t) in [(0, 19), (5, 12)] {
+                let mut net = MplsNetwork::new(&scheme);
+                let lsp = net.establish(s, t).expect("connected");
+                net.fail_edge(e);
+                match net.restore(lsp) {
+                    Ok(report) => {
+                        assert_eq!(
+                            report.restored_path.hops() as u32,
+                            report.optimal_hops,
+                            "seed {seed} pair ({s},{t}) edge {e}"
+                        );
+                        assert!(report
+                            .restored_path
+                            .avoids(&g, &FaultSet::single(e)));
+                    }
+                    Err(MplsError::Disconnected { .. }) => {
+                        assert!(
+                            !connected_pair(&g, s, t, &FaultSet::single(e)),
+                            "disconnection report must be genuine"
+                        );
+                    }
+                    Err(other) => panic!("restorable tables failed: {other}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_failures_with_repair() {
+    // Fail, restore, repair, fail another link: the network object keeps
+    // consistent state throughout.
+    let g = generators::torus(4, 5);
+    let scheme = RandomGridAtw::theorem20(&g, 3).into_scheme();
+    let mut net = MplsNetwork::new(&scheme);
+    let lsp = net.establish(0, 11).unwrap();
+    let original = net.lsp(lsp).unwrap().path().clone();
+
+    let e1 = original.edge_ids(net.graph()).unwrap()[0];
+    net.fail_edge(e1);
+    let r1 = net.restore(lsp).unwrap();
+    assert!(r1.restored_path.avoids(net.graph(), net.failed_edges()));
+
+    net.repair_edge(e1);
+    assert!(net.failed_edges().is_empty());
+
+    // Fail an edge of the restored path now.
+    let e2 = r1.restored_path.edge_ids(net.graph()).unwrap()[0];
+    net.fail_edge(e2);
+    let r2 = net.restore(lsp).unwrap();
+    assert!(r2.restored_path.avoids(net.graph(), net.failed_edges()));
+    assert_eq!(r2.restored_path.hops() as u32, r2.optimal_hops);
+}
+
+#[test]
+fn multi_lsp_bookkeeping() {
+    let g = generators::grid(4, 4);
+    let scheme = RandomGridAtw::theorem20(&g, 11).into_scheme();
+    let mut net = MplsNetwork::new(&scheme);
+    let a = net.establish(0, 15).unwrap();
+    let b = net.establish(3, 12).unwrap();
+    let c = net.establish(1, 2).unwrap();
+    assert_eq!([a, b, c].iter().collect::<std::collections::HashSet<_>>().len(), 3);
+
+    // Fail an edge on LSP a's path only; the others stay clean.
+    let ea = net.lsp(a).unwrap().path().edge_ids(net.graph()).unwrap()[0];
+    net.fail_edge(ea);
+    let affected = net.affected_lsps();
+    assert!(affected.contains(&a));
+    for id in affected {
+        net.restore(id).unwrap();
+    }
+    assert!(net.affected_lsps().is_empty());
+}
