@@ -305,9 +305,7 @@ impl Add for &BigInt {
         match (self.sign, rhs.sign) {
             (Zero, _) => rhs.clone(),
             (_, Zero) => self.clone(),
-            (a, b) if a == b => {
-                BigInt::from_sign_mag(a, BigInt::add_mag(&self.mag, &rhs.mag))
-            }
+            (a, b) if a == b => BigInt::from_sign_mag(a, BigInt::add_mag(&self.mag, &rhs.mag)),
             _ => match BigInt::cmp_mag(&self.mag, &rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
                 Ordering::Greater => {

@@ -48,9 +48,7 @@ fn ablation_scheme_sampling(c: &mut Criterion) {
         b.iter(|| RandomGridAtw::theorem20(&g, 9).into_scheme())
     });
     let scheme = RandomGridAtw::theorem20(&g, 9).into_scheme();
-    group.bench_function("one_spt_after_build", |b| {
-        b.iter(|| scheme.spt(0, &FaultSet::empty()))
-    });
+    group.bench_function("one_spt_after_build", |b| b.iter(|| scheme.spt(0, &FaultSet::empty())));
     group.finish();
 }
 

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsp_congest::{
-    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt,
-    scheduled_multi_spt,
+    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt, scheduled_multi_spt,
 };
 use rsp_core::RandomGridAtw;
 use rsp_graph::generators;

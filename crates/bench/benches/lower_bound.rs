@@ -2,9 +2,7 @@
 //! perturbation on `G*_1(V, E, W)`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rsp_preserver::lower_bound::{
-    build_lower_bound_graph, run_bad_scheme, run_perturbed_scheme,
-};
+use rsp_preserver::lower_bound::{build_lower_bound_graph, run_bad_scheme, run_perturbed_scheme};
 
 fn bench_lower_bound(c: &mut Criterion) {
     c.bench_function("lower_bound/build_g1_d16", |b| {
@@ -13,9 +11,7 @@ fn bench_lower_bound(c: &mut Criterion) {
 
     let lb = build_lower_bound_graph(1, 16, 256);
     c.bench_function("lower_bound/bad_scheme_d16", |b| b.iter(|| run_bad_scheme(&lb)));
-    c.bench_function("lower_bound/perturbed_d16", |b| {
-        b.iter(|| run_perturbed_scheme(&lb, 9))
-    });
+    c.bench_function("lower_bound/perturbed_d16", |b| b.iter(|| run_perturbed_scheme(&lb, 9)));
 }
 
 criterion_group! {

@@ -9,9 +9,7 @@ fn bench_preserver(c: &mut Criterion) {
     let g = generators::connected_gnm(120, 360, 5);
     let scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
 
-    c.bench_function("preserver/ft_bfs_f1_n120", |b| {
-        b.iter(|| ft_bfs_structure(&scheme, 0, 1))
-    });
+    c.bench_function("preserver/ft_bfs_f1_n120", |b| b.iter(|| ft_bfs_structure(&scheme, 0, 1)));
 
     let sources = [0, 40, 80];
     c.bench_function("preserver/subset_1ft_n120_s3", |b| {

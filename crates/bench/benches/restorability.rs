@@ -11,9 +11,7 @@ fn bench_restore(c: &mut Criterion) {
     let g = generators::grid(5, 5);
     let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
     let (s, t) = (0, g.n() - 1);
-    let e = g
-        .edge_between(0, 1)
-        .expect("grid edge");
+    let e = g.edge_between(0, 1).expect("grid edge");
 
     c.bench_function("restore/single_fault_grid5x5", |b| {
         b.iter(|| restore_single_fault(&scheme, s, t, e).expect("connected"))

@@ -3,8 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsp_graph::generators;
 use rsp_replacement::{
-    naive_single_pair, per_pair_subset_rp, single_pair_replacement_paths,
-    subset_replacement_paths,
+    naive_single_pair, per_pair_subset_rp, single_pair_replacement_paths, subset_replacement_paths,
 };
 
 fn bench_subset_rp(c: &mut Criterion) {

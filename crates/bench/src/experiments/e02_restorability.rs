@@ -3,8 +3,7 @@
 //! graph families and both ATW constructions.
 
 use rsp_core::verify::{
-    all_fault_sets, verify_consistency, verify_restorability, verify_shortest,
-    verify_stability,
+    all_fault_sets, verify_consistency, verify_restorability, verify_shortest, verify_stability,
 };
 use rsp_core::{GeometricAtw, RandomGridAtw};
 use rsp_graph::FaultSet;

@@ -15,9 +15,7 @@ pub fn run(quick: bool) {
     let sigma = 4;
     for f_total in [1usize, 2] {
         let mut table = Table::new(
-            &format!(
-                "E5 (Theorem 31): {f_total}-FT S x S preserver sizes, sigma = {sigma}"
-            ),
+            &format!("E5 (Theorem 31): {f_total}-FT S x S preserver sizes, sigma = {sigma}"),
             &["graph", "n", "m", "edges", "bound n^(2-1/2^f) s^(1/2^f)", "edges/bound"],
         );
         let mut ns = Vec::new();
@@ -29,8 +27,7 @@ pub fn run(quick: bool) {
             // Theorem 31 sets the internal overlay depth to f_total − 1.
             let p = ft_subset_preserver(&scheme, &sources, f_total);
             // Sampled ground-truth verification.
-            let fault_sets =
-                sample_fault_sets(g.m(), f_total, if quick { 8 } else { 25 }, 17);
+            let fault_sets = sample_fault_sets(g.m(), f_total, if quick { 8 } else { 25 }, 17);
             verify_preserver(g, &p, &PairSet::subset(sources.clone()), &fault_sets)
                 .expect("preserver must be correct");
             let fexp = f_total - 1; // the bound's f is the overlay depth

@@ -3,9 +3,7 @@
 //! preserver edges on `G*_1(V, E, W)`, while random perturbation
 //! tiebreaking on the *same graph and fault family* stays near-linear.
 
-use rsp_preserver::lower_bound::{
-    build_lower_bound_graph, run_bad_scheme, run_perturbed_scheme,
-};
+use rsp_preserver::lower_bound::{build_lower_bound_graph, run_bad_scheme, run_perturbed_scheme};
 
 use crate::reporting::{f3, loglog_slope, Table};
 

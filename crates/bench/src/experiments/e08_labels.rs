@@ -38,9 +38,8 @@ pub fn run(quick: bool) {
             for _ in 0..probes {
                 let s = rng.random_range(0..g.n());
                 let t = rng.random_range(0..g.n());
-                let fault_edges: Vec<usize> = (0..supported)
-                    .map(|_| rng.random_range(0..g.m()))
-                    .collect();
+                let fault_edges: Vec<usize> =
+                    (0..supported).map(|_| rng.random_range(0..g.m())).collect();
                 let fs = FaultSet::from_edges(fault_edges.iter().copied());
                 let pairs: Vec<_> = fs.iter().map(|e| g.endpoints(e)).collect();
                 let truth = bfs(g, s, &fs).dist(t);

@@ -4,8 +4,8 @@
 //! for the black-boxed higher-fault constructions.
 
 use rsp_congest::{
-    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt,
-    scheduled_multi_spt, theorem8_round_bound,
+    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt, scheduled_multi_spt,
+    theorem8_round_bound,
 };
 use rsp_core::RandomGridAtw;
 use rsp_graph::{diameter, generators};
@@ -20,7 +20,7 @@ pub fn run(quick: bool) {
         "E9a (Lemma 34): distributed tie-breaking SPT",
         &["graph", "n", "D", "rounds", "max msgs/edge", "max msg bits"],
     );
-    let graphs = vec![
+    let graphs = [
         ("grid-8x8", generators::grid(8, 8)),
         ("torus-8x8", generators::torus(8, 8)),
         ("gnm-100-300", generators::connected_gnm(100, 300, 3)),

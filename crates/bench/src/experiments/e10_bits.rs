@@ -10,9 +10,18 @@ use crate::reporting::{f3, Table};
 pub fn run(quick: bool) {
     let mut table = Table::new(
         "E10 (Cor 22 / Thm 23): bits per edge weight",
-        &["graph", "n", "m", "thm20 bits", "cor22 f=1", "cor22 f=3", "thm23 bits", "cor22 tie prob"],
+        &[
+            "graph",
+            "n",
+            "m",
+            "thm20 bits",
+            "cor22 f=1",
+            "cor22 f=3",
+            "thm23 bits",
+            "cor22 tie prob",
+        ],
     );
-    let graphs = vec![
+    let graphs = [
         ("grid-5x5", generators::grid(5, 5)),
         ("gnm-60-180", generators::connected_gnm(60, 180, 1)),
         ("gnm-200-600", generators::connected_gnm(200, 600, 2)),
@@ -63,11 +72,7 @@ pub fn run(quick: bool) {
                 }
             }
         }
-        t2.row(&[
-            k.to_string(),
-            format!("{ties}/{runs}"),
-            f3(g.m() as f64 / k as f64),
-        ]);
+        t2.row(&[k.to_string(), format!("{ties}/{runs}"), f3(g.m() as f64 / k as f64)]);
     }
     t2.print();
     println!(

@@ -3,9 +3,7 @@
 //! oracle.
 
 use rsp_graph::{bfs, EdgeWeights, FaultSet};
-use rsp_replacement::{
-    verify_weighted_restoration_lemma, weighted_single_pair, SingleFaultOracle,
-};
+use rsp_replacement::{verify_weighted_restoration_lemma, weighted_single_pair, SingleFaultOracle};
 
 use crate::reporting::{f3, timed, Table};
 use crate::workloads::sparse_sweep;
@@ -21,8 +19,7 @@ pub fn run(quick: bool) {
     for w in sparse_sweep(sizes, 71) {
         let g = &w.graph;
         let weights = EdgeWeights::random(g, 12, 5);
-        let pairs: Vec<(usize, usize)> =
-            vec![(0, g.n() - 1), (1, g.n() / 2), (2, g.n() - 3)];
+        let pairs: Vec<(usize, usize)> = vec![(0, g.n() - 1), (1, g.n() / 2), (2, g.n() - 3)];
         let stats = verify_weighted_restoration_lemma(g, &weights, &pairs, 9);
         assert_eq!(stats.witnessed, stats.instances, "Theorem 11 must hold");
         t1.row(&[
@@ -49,8 +46,7 @@ pub fn run(quick: bool) {
             let (r, ms) = timed(|| weighted_single_pair(g, &weights, 0, g.n() - 1, 3));
             let r = r.expect("connected");
             for entry in r.entries().iter().take(6) {
-                let truth =
-                    rsp_graph::weighted_sssp(g, &weights, 0, &FaultSet::single(entry.edge));
+                let truth = rsp_graph::weighted_sssp(g, &weights, 0, &FaultSet::single(entry.edge));
                 assert_eq!(entry.dist, truth.cost(g.n() - 1).copied());
             }
             t2.row(&[

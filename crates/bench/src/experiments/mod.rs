@@ -19,9 +19,8 @@ pub mod e12_dag;
 pub mod e13_weighted;
 
 /// All experiment ids, in run order.
-pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-];
+pub const ALL: &[&str] =
+    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
 
 /// Dispatches one experiment by id (`"e1"`, …). Returns `false` for an
 /// unknown id.

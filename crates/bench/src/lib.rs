@@ -6,8 +6,8 @@
 //! `experiments` runs them from the command line:
 //!
 //! ```text
-//! cargo run -p rsp-bench --release --bin experiments -- all
-//! cargo run -p rsp-bench --release --bin experiments -- e1 e6
+//! cargo run -p rsp_bench --release --bin experiments -- all
+//! cargo run -p rsp_bench --release --bin experiments -- e1 e6
 //! ```
 //!
 //! The Criterion benches under `benches/` time the individual algorithms

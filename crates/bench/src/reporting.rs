@@ -92,10 +92,7 @@ impl Table {
 /// ```
 pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
     assert!(xs.len() == ys.len() && xs.len() >= 2, "need >= 2 paired points");
-    assert!(
-        xs.iter().chain(ys).all(|&v| v > 0.0),
-        "log-log fits need positive values"
-    );
+    assert!(xs.iter().chain(ys).all(|&v| v > 0.0), "log-log fits need positive values");
     let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
     let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
     let n = lx.len() as f64;

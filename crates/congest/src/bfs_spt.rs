@@ -66,10 +66,8 @@ impl SptState {
     pub(crate) fn on_round(&mut self, inbox: &[(Vertex, u128)]) -> Option<u128> {
         let mut improved = false;
         for &(from, d) in inbox {
-            let w = *self
-                .weight_in
-                .get(&from)
-                .expect("announcements only arrive over incident edges");
+            let w =
+                *self.weight_in.get(&from).expect("announcements only arrive over incident edges");
             let cand = d + w;
             if self.dist.is_none() || cand < self.dist.expect("checked") {
                 self.dist = Some(cand);
@@ -126,9 +124,7 @@ pub struct DistributedSptResult {
 /// Builds the per-node incident weight tables from a scheme.
 pub(crate) fn weight_tables(g: &Graph, scheme: &ExactScheme<u128>) -> Vec<HashMap<Vertex, u128>> {
     g.vertices()
-        .map(|v| {
-            g.neighbors(v).map(|(w, e)| (w, scheme.edge_cost(e, w, v))).collect()
-        })
+        .map(|v| g.neighbors(v).map(|(w, e)| (w, scheme.edge_cost(e, w, v))).collect())
         .collect()
 }
 
@@ -184,11 +180,7 @@ mod tests {
         for v in g.vertices() {
             assert_eq!(result.dist[v].as_ref(), central.cost(v), "dist of {v}");
             if v != source {
-                assert_eq!(
-                    result.parent[v],
-                    central.parent(v).map(|(p, _)| p),
-                    "parent of {v}"
-                );
+                assert_eq!(result.parent[v], central.parent(v).map(|(p, _)| p), "parent of {v}");
             }
         }
     }

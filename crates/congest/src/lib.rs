@@ -55,8 +55,7 @@ pub mod sim;
 
 pub use bfs_spt::{distributed_spt, DistributedSptResult, SptMsg};
 pub use broadcast::{
-    broadcast, convergecast_sum, AggregateMsg, BroadcastMsg, BroadcastResult,
-    ConvergecastResult,
+    broadcast, convergecast_sum, AggregateMsg, BroadcastMsg, BroadcastResult, ConvergecastResult,
 };
 pub use preserver_dist::{
     distributed_1ft_preserver_full_protocol, distributed_1ft_subset_preserver,

@@ -166,10 +166,8 @@ pub fn distributed_1ft_preserver_full_protocol(
     stats.rounds += bcast.stats.rounds + agg.stats.rounds + feedback.stats.rounds;
     stats.total_messages +=
         bcast.stats.total_messages + agg.stats.total_messages + feedback.stats.total_messages;
-    stats.max_message_bits = stats
-        .max_message_bits
-        .max(bcast.stats.max_message_bits)
-        .max(agg.stats.max_message_bits);
+    stats.max_message_bits =
+        stats.max_message_bits.max(bcast.stats.max_message_bits).max(agg.stats.max_message_bits);
     let edges = preserver.edges;
     debug_assert_eq!(agg.total as usize, edges.len());
     Ok((DistributedEdgeSet { edges, stats }, agg.total))
@@ -269,8 +267,7 @@ mod tests {
     fn full_protocol_accounts_every_phase() {
         let g = generators::torus(5, 5);
         let sources = [0, 6, 12, 18];
-        let (result, counted) =
-            distributed_1ft_preserver_full_protocol(&g, &sources, 3).unwrap();
+        let (result, counted) = distributed_1ft_preserver_full_protocol(&g, &sources, 3).unwrap();
         assert_eq!(counted as usize, result.edge_count());
         // Full protocol costs strictly more rounds than the bare one
         // (seed broadcast + aggregation), but still O(D + sigma).

@@ -86,10 +86,7 @@ impl Program<TaggedMsg> for MultiSptProgram {
                 let state = &mut self.instances[instance as usize];
                 if let Some(dist) = state.on_round(&[]) {
                     for &nb in ctx.neighbors {
-                        self.queues
-                            .entry(nb)
-                            .or_default()
-                            .push_back(TaggedMsg { instance, dist });
+                        self.queues.entry(nb).or_default().push_back(TaggedMsg { instance, dist });
                     }
                 }
             }
@@ -103,11 +100,7 @@ impl Program<TaggedMsg> for MultiSptProgram {
     }
 
     fn pending(&self, _round: usize) -> bool {
-        self.queued()
-            || self
-                .source_of
-                .iter()
-                .any(|&i| !self.instances[i as usize].announced)
+        self.queued() || self.source_of.iter().any(|&i| !self.instances[i as usize].announced)
     }
 }
 
@@ -160,8 +153,7 @@ pub fn scheduled_multi_spt(
             let instances: Vec<SptState> = sources
                 .iter()
                 .map(|&s| {
-                    let mut st =
-                        if s == v { SptState::source() } else { SptState::node() };
+                    let mut st = if s == v { SptState::source() } else { SptState::node() };
                     st.weight_in = weight_in.clone();
                     st
                 })
@@ -172,7 +164,12 @@ pub fn scheduled_multi_spt(
                 .filter(|&(_, &s)| s == v)
                 .map(|(i, _)| i as u32)
                 .collect();
-            MultiSptProgram { instances, delays: delays.clone(), source_of, queues: BTreeMap::new() }
+            MultiSptProgram {
+                instances,
+                delays: delays.clone(),
+                source_of,
+                queues: BTreeMap::new(),
+            }
         })
         .collect();
 
@@ -190,9 +187,9 @@ pub fn scheduled_multi_spt(
     let mut tree_edges: Vec<EdgeId> = parents
         .iter()
         .flat_map(|par| {
-            par.iter().enumerate().filter_map(|(v, p)| {
-                p.map(|u| g.edge_between(u, v).expect("tree edges exist"))
-            })
+            par.iter()
+                .enumerate()
+                .filter_map(|(v, p)| p.map(|u| g.edge_between(u, v).expect("tree edges exist")))
         })
         .collect();
     tree_edges.sort_unstable();

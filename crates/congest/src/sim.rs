@@ -162,8 +162,8 @@ impl<'g, M: Clone + MsgSize, P: Program<M>> Network<'g, M, P> {
         let mut edge_load: Vec<usize> = vec![0; self.graph.m()];
 
         for round in 0..max_rounds {
-            let anyone_active = (0..n)
-                .any(|u| !inboxes[u].is_empty() || self.programs[u].pending(round));
+            let anyone_active =
+                (0..n).any(|u| !inboxes[u].is_empty() || self.programs[u].pending(round));
             if !anyone_active {
                 stats.rounds = round;
                 stats.max_messages_per_edge = edge_load.iter().copied().max().unwrap_or(0);
@@ -173,6 +173,9 @@ impl<'g, M: Clone + MsgSize, P: Program<M>> Network<'g, M, P> {
             // Step all active nodes against this round's inboxes.
             let mut next_inboxes: Vec<Vec<(Vertex, M)>> = vec![Vec::new(); n];
             let mut sent_this_round: HashMap<(Vertex, Vertex), ()> = HashMap::new();
+            // Node ids index inboxes, programs, and neighbor lists alike:
+            // an enumerate over one of them would only obscure that.
+            #[allow(clippy::needless_range_loop)]
             for u in 0..n {
                 if inboxes[u].is_empty() && !self.programs[u].pending(round) {
                     continue;
@@ -249,9 +252,7 @@ mod tests {
     }
 
     fn flood_net(g: &Graph, source: Vertex) -> Vec<Flood> {
-        g.vertices()
-            .map(|v| Flood { is_source: v == source, best: 0, announced: false })
-            .collect()
+        g.vertices().map(|v| Flood { is_source: v == source, best: 0, announced: false }).collect()
     }
 
     use rsp_graph::Graph;

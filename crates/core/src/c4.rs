@@ -180,8 +180,7 @@ pub fn search_symmetric_1_restorable(
     let mut total: usize = 1;
     for s in g.vertices() {
         for t in (s + 1)..g.n() {
-            let choices =
-                all_shortest_paths(g, s, t, &empty, path_cap).ok_or(usize::MAX)?;
+            let choices = all_shortest_paths(g, s, t, &empty, path_cap).ok_or(usize::MAX)?;
             if choices.is_empty() {
                 continue; // disconnected pair: nothing to select
             }

@@ -76,8 +76,10 @@ impl GeometricAtw {
         let mut bwd = Vec::with_capacity(g.m());
         for (idx, _, _) in g.edges() {
             let i = idx as u32 + 1; // 1-based edge numbering per the paper
-            let perturb = BigInt::pow2(BASE_LOG2 * (m - i)); // 4^{m−i}
-            // Canonical orientation u → v has u < v, so sign(u − v) = −1.
+
+            // perturb = 4^{m−i}; the canonical orientation u → v has
+            // u < v, so sign(u − v) = −1 on the forward direction.
+            let perturb = BigInt::pow2(BASE_LOG2 * (m - i));
             fwd.push(&unit + &(-perturb.clone()));
             bwd.push(&unit + &perturb);
         }

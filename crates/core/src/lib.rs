@@ -76,6 +76,6 @@ pub use geometric_atw::GeometricAtw;
 pub use naive::{BfsOrder, BfsScheme};
 pub use random_atw::RandomGridAtw;
 pub use restore::{
-    restore_by_concatenation, restore_single_fault, restoration_stats, RestorationStats,
+    restoration_stats, restore_by_concatenation, restore_single_fault, RestorationStats,
 };
 pub use scheme::{ExactScheme, Rpts};

@@ -145,10 +145,8 @@ impl RandomGridAtw {
     pub fn into_scheme(self) -> ExactScheme<u128> {
         let bits = self.bits_per_weight();
         let unit = self.unit;
-        let fwd: Vec<u128> =
-            self.r.iter().map(|&i| (unit as i128 + i as i128) as u128).collect();
-        let bwd: Vec<u128> =
-            self.r.iter().map(|&i| (unit as i128 - i as i128) as u128).collect();
+        let fwd: Vec<u128> = self.r.iter().map(|&i| (unit as i128 + i as i128) as u128).collect();
+        let bwd: Vec<u128> = self.r.iter().map(|&i| (unit as i128 - i as i128) as u128).collect();
         ExactScheme::from_costs(self.graph, fwd, bwd, unit, bits)
     }
 }

@@ -180,8 +180,7 @@ mod tests {
     #[test]
     fn antisymmetry_violation_detected() {
         let g = generators::cycle(3);
-        let s =
-            ExactScheme::from_costs(g, vec![10u64, 10, 10], vec![10u64, 10, 11], 10u64, 1);
+        let s = ExactScheme::from_costs(g, vec![10u64, 10, 10], vec![10u64, 10, 11], 10u64, 1);
         assert!(!s.is_antisymmetric());
     }
 

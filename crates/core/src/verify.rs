@@ -244,12 +244,7 @@ pub fn verify_stability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<
                     let bigger = faults.with(e);
                     let p2 = scheme.path(s, t, &bigger);
                     if p2.as_ref() != Some(&p) {
-                        return Err(Violation::Unstable {
-                            s,
-                            t,
-                            faults: faults.clone(),
-                            extra: e,
-                        });
+                        return Err(Violation::Unstable { s, t, faults: faults.clone(), extra: e });
                     }
                 }
             }
@@ -264,10 +259,7 @@ pub fn verify_stability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<
 /// # Errors
 ///
 /// Returns the first [`Violation::NotRestorable`] found.
-pub fn verify_restorability<S: Rpts>(
-    scheme: &S,
-    fault_sets: &[FaultSet],
-) -> Result<(), Violation> {
+pub fn verify_restorability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(), Violation> {
     let g = scheme.graph();
     for faults in fault_sets {
         if faults.is_empty() {

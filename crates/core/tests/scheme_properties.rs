@@ -9,12 +9,10 @@ use rsp_core::{GeometricAtw, RandomGridAtw, Rpts};
 use rsp_graph::{generators, FaultSet};
 
 fn params() -> impl Strategy<Value = (usize, usize, u64, u64)> {
-    (5usize..=20, 0usize..=3, any::<u64>(), any::<u64>()).prop_map(
-        |(n, density, gseed, wseed)| {
-            let m = ((n - 1) + density * n / 2).min(n * (n - 1) / 2);
-            (n, m, gseed, wseed)
-        },
-    )
+    (5usize..=20, 0usize..=3, any::<u64>(), any::<u64>()).prop_map(|(n, density, gseed, wseed)| {
+        let m = ((n - 1) + density * n / 2).min(n * (n - 1) / 2);
+        (n, m, gseed, wseed)
+    })
 }
 
 proptest! {

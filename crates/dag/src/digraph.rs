@@ -200,8 +200,7 @@ impl Digraph {
     /// (Kahn's algorithm).
     pub fn topological_order(&self) -> Option<Vec<usize>> {
         let mut indeg: Vec<usize> = (0..self.n).map(|v| self.in_degree(v)).collect();
-        let mut queue: VecDeque<usize> =
-            (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(self.n);
         while let Some(u) = queue.pop_front() {
             order.push(u);
@@ -324,10 +323,7 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert!(matches!(
-            Digraph::from_arcs(2, [(0, 5)]),
-            Err(DagError::VertexOutOfRange { .. })
-        ));
+        assert!(matches!(Digraph::from_arcs(2, [(0, 5)]), Err(DagError::VertexOutOfRange { .. })));
         assert!(matches!(Digraph::from_arcs(2, [(1, 1)]), Err(DagError::SelfLoop { .. })));
         assert!(matches!(
             Digraph::from_arcs(2, [(0, 1), (0, 1)]),

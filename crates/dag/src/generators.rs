@@ -76,8 +76,8 @@ pub fn layered_dag(layers: usize, width: usize, fanout: usize, seed: u64) -> Dig
     let mut seen = std::collections::HashSet::new();
     let mut arcs = Vec::new();
     let push = |seen: &mut std::collections::HashSet<(usize, usize)>,
-                    arcs: &mut Vec<(usize, usize)>,
-                    a: (usize, usize)| {
+                arcs: &mut Vec<(usize, usize)>,
+                a: (usize, usize)| {
         if seen.insert(a) {
             arcs.push(a);
         }

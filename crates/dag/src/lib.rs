@@ -45,7 +45,5 @@ mod restore;
 mod scheme;
 
 pub use digraph::{ArcFaults, ArcId, DagError, Digraph, DirectedBfs};
-pub use restore::{
-    dag_restoration_stats, existential_restoration_stats, DagRestorationStats,
-};
+pub use restore::{dag_restoration_stats, existential_restoration_stats, DagRestorationStats};
 pub use scheme::DagScheme;

@@ -145,13 +145,19 @@ mod tests {
         // 12+12; make the 0→1 direction expensive so the other way wins.
         let g = generators::cycle(4);
         let e01 = g.edge_between(0, 1).unwrap();
-        let spt = dijkstra(&g, 0, &FaultSet::empty(), |e, from, _to| {
-            if e == e01 && from == 0 {
-                100u64
-            } else {
-                10u64
-            }
-        });
+        let spt =
+            dijkstra(
+                &g,
+                0,
+                &FaultSet::empty(),
+                |e, from, _to| {
+                    if e == e01 && from == 0 {
+                        100u64
+                    } else {
+                        10u64
+                    }
+                },
+            );
         assert_eq!(spt.path_to(2).unwrap().vertices(), &[0, 3, 2]);
         assert_eq!(spt.cost(2), Some(&20));
     }
@@ -191,13 +197,8 @@ mod tests {
         // edge with huge cost vs a two-hop detour with small cost.
         let g = crate::Graph::from_edges(3, [(0, 2), (0, 1), (1, 2)]).unwrap();
         let direct = g.edge_between(0, 2).unwrap();
-        let spt = dijkstra(&g, 0, &FaultSet::empty(), |e, _, _| {
-            if e == direct {
-                100u64
-            } else {
-                1u64
-            }
-        });
+        let spt =
+            dijkstra(&g, 0, &FaultSet::empty(), |e, _, _| if e == direct { 100u64 } else { 1u64 });
         assert_eq!(spt.hops(2), Some(2));
         assert_eq!(spt.cost(2), Some(&2));
     }

@@ -56,9 +56,7 @@ mod weights;
 
 pub use bfs::{bfs, bfs_all_pairs, BfsTree};
 pub use builder::{GraphBuilder, GraphError};
-pub use connectivity::{
-    components, connected_pair, diameter, is_connected, is_connected_avoiding,
-};
+pub use connectivity::{components, connected_pair, diameter, is_connected, is_connected_avoiding};
 pub use dijkstra::dijkstra;
 pub use fault::FaultSet;
 pub use graph::{EdgeId, Graph, Vertex};

@@ -101,8 +101,7 @@ impl<C: PathCost> WeightedSpt<C> {
     /// observation that "any shortest path tree under ω is also a legit BFS
     /// tree".
     pub fn to_bfs_tree(&self) -> crate::BfsTree {
-        let dist =
-            self.cost.iter().zip(&self.hops).map(|(c, &h)| c.as_ref().map(|_| h)).collect();
+        let dist = self.cost.iter().zip(&self.hops).map(|(c, &h)| c.as_ref().map(|_| h)).collect();
         crate::BfsTree::from_parts(self.source, dist, self.parent.clone())
     }
 }

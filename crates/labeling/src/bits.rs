@@ -36,10 +36,7 @@ impl BitWriter {
     /// Panics if `width > 64` or `value` has bits above `width`.
     pub fn write_bits(&mut self, value: u64, width: u32) {
         assert!(width <= 64, "width {width} too large");
-        assert!(
-            width == 64 || value < (1u64 << width),
-            "value {value} does not fit {width} bits"
-        );
+        assert!(width == 64 || value < (1u64 << width), "value {value} does not fit {width} bits");
         for i in (0..width).rev() {
             let bit = (value >> i) & 1;
             let byte_idx = self.bit_len / 8;

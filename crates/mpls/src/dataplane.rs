@@ -66,13 +66,7 @@ pub fn forward_packet(
                 verts.push(next);
                 cur = next;
             }
-            _ => {
-                return ForwardOutcome::LinkDown {
-                    at: cur,
-                    next,
-                    hops_taken: verts.len() - 1,
-                }
-            }
+            _ => return ForwardOutcome::LinkDown { at: cur, next, hops_taken: verts.len() - 1 },
         }
     }
     ForwardOutcome::TtlExpired

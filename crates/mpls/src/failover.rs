@@ -131,10 +131,8 @@ impl MplsNetwork {
     ///
     /// Returns [`MplsError::Disconnected`] if no route exists.
     pub fn establish(&mut self, s: Vertex, t: Vertex) -> Result<LspId, MplsError> {
-        let path = self
-            .tables
-            .route_forward(&self.graph, s, t)
-            .ok_or(MplsError::Disconnected { s, t })?;
+        let path =
+            self.tables.route_forward(&self.graph, s, t).ok_or(MplsError::Disconnected { s, t })?;
         let id = LspId(self.lsps.len());
         self.lsps.push(Lsp { id, s, t, path });
         Ok(id)
@@ -182,9 +180,8 @@ impl MplsNetwork {
     pub fn restore(&mut self, id: LspId) -> Result<RestorationReport, MplsError> {
         let lsp = self.lsps.get(id.0).ok_or(MplsError::UnknownLsp(id))?;
         let (s, t) = (lsp.s, lsp.t);
-        let optimal = bfs(&self.graph, s, &self.failed)
-            .dist(t)
-            .ok_or(MplsError::Disconnected { s, t })?;
+        let optimal =
+            bfs(&self.graph, s, &self.failed).dist(t).ok_or(MplsError::Disconnected { s, t })?;
 
         let mut best: Option<(Vertex, Path)> = None;
         for x in self.graph.vertices() {
@@ -202,8 +199,7 @@ impl MplsNetwork {
                 best = Some((x, spliced));
             }
         }
-        let (midpoint, restored_path) =
-            best.ok_or(MplsError::RestorationFailed { s, t })?;
+        let (midpoint, restored_path) = best.ok_or(MplsError::RestorationFailed { s, t })?;
         self.lsps[id.0].path = restored_path.clone();
         Ok(RestorationReport { midpoint, restored_path, optimal_hops: optimal })
     }

@@ -37,8 +37,7 @@ impl DualTables {
             // Forward entries: first hop of π(root, v) for every v; walk
             // the tree once, propagating the first hop downward.
             let mut first_hop: Vec<Option<Vertex>> = vec![None; n];
-            let mut order: Vec<Vertex> =
-                g.vertices().filter(|&v| tree.dist(v).is_some()).collect();
+            let mut order: Vec<Vertex> = g.vertices().filter(|&v| tree.dist(v).is_some()).collect();
             order.sort_by_key(|&v| tree.dist(v).expect("filtered reachable"));
             for &v in &order {
                 if v == root {

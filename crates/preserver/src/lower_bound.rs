@@ -40,12 +40,7 @@ struct GfParts {
     labels: Vec<Vec<(Vertex, Vertex)>>,
 }
 
-fn gf_rec(
-    f: usize,
-    d: usize,
-    next_id: &mut usize,
-    edges: &mut Vec<(Vertex, Vertex)>,
-) -> GfParts {
+fn gf_rec(f: usize, d: usize, next_id: &mut usize, edges: &mut Vec<(Vertex, Vertex)>) -> GfParts {
     assert!(f >= 1 && d >= 2, "G_f(d) needs f >= 1, d >= 2");
     // Spine u_1 … u_d.
     let spine: Vec<Vertex> = (0..d).map(|i| *next_id + i).collect();
@@ -159,16 +154,7 @@ pub fn build_lower_bound_graph(f: usize, d: usize, x_count: usize) -> LowerBound
                 .collect()
         })
         .collect();
-    LowerBoundGraph {
-        graph,
-        source: parts.root,
-        leaves: parts.leaves,
-        labels,
-        xs,
-        bipartite,
-        f,
-        d,
-    }
+    LowerBoundGraph { graph, source: parts.root, leaves: parts.leaves, labels, xs, bipartite, f, d }
 }
 
 impl LowerBoundGraph {
@@ -279,16 +265,13 @@ mod tests {
         // Remove the bipartite rescue edges: under Label(z_j) exactly the
         // leaves strictly right of j lose their root path.
         let lb = build_lower_bound_graph(1, 4, 1);
-        let tree_only = lb.graph.edge_subgraph(
-            lb.graph
-                .edges()
-                .map(|(e, _, _)| e)
-                .filter(|e| !lb.bipartite.contains(e) && {
-                    // also drop the spine→X shortcut edges
-                    let (u, v) = lb.graph.endpoints(*e);
-                    !lb.xs.contains(&u) && !lb.xs.contains(&v)
-                }),
-        );
+        let tree_only = lb.graph.edge_subgraph(lb.graph.edges().map(|(e, _, _)| e).filter(|e| {
+            !lb.bipartite.contains(e) && {
+                // also drop the spine→X shortcut edges
+                let (u, v) = lb.graph.endpoints(*e);
+                !lb.xs.contains(&u) && !lb.xs.contains(&v)
+            }
+        }));
         for (j, label) in lb.labels.iter().enumerate() {
             if label.is_empty() {
                 continue;
@@ -318,11 +301,7 @@ mod tests {
         // Each of the d−1 labeled leaves must capture all |X| bipartite
         // edges (plus whatever the rescue paths add).
         let floor = (lb.d - 1) * lb.xs.len();
-        assert!(
-            out.bipartite_forced >= floor,
-            "forced {} < floor {floor}",
-            out.bipartite_forced
-        );
+        assert!(out.bipartite_forced >= floor, "forced {} < floor {floor}", out.bipartite_forced);
     }
 
     #[test]

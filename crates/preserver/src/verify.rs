@@ -168,8 +168,8 @@ mod tests {
         let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
         let p = overlay_paths(&scheme, [(0, FaultSet::empty())]);
         let singles: Vec<FaultSet> = g.edges().map(|(e, _, _)| FaultSet::single(e)).collect();
-        let err = verify_preserver(&g, &p, &PairSet::sourcewise(vec![0], g.n()), &singles)
-            .unwrap_err();
+        let err =
+            verify_preserver(&g, &p, &PairSet::sourcewise(vec![0], g.n()), &singles).unwrap_err();
         assert_eq!(err.faults.len(), 1);
         assert!(err.expected.is_some());
         let msg = err.to_string();
@@ -182,13 +182,9 @@ mod tests {
         let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
         let p = ft_bfs_structure(&scheme, 0, 1);
         let singles: Vec<FaultSet> = g.edges().map(|(e, _, _)| FaultSet::single(e)).collect();
-        let checked = verify_preserver_counting(
-            &g,
-            &p,
-            &PairSet::sourcewise(vec![0], g.n()),
-            &singles,
-        )
-        .unwrap();
+        let checked =
+            verify_preserver_counting(&g, &p, &PairSet::sourcewise(vec![0], g.n()), &singles)
+                .unwrap();
         assert_eq!(checked, 6 * 6);
     }
 

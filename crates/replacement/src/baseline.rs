@@ -24,10 +24,7 @@ pub fn naive_single_pair(g: &Graph, s: Vertex, t: Vertex, path: Path) -> SingleP
         .edge_ids(g)
         .expect("valid path resolves to edges")
         .into_iter()
-        .map(|edge| ReplacementEntry {
-            edge,
-            dist: bfs(g, s, &FaultSet::single(edge)).dist(t),
-        })
+        .map(|edge| ReplacementEntry { edge, dist: bfs(g, s, &FaultSet::single(edge)).dist(t) })
         .collect();
     SinglePairResult::from_parts(s, t, path, entries)
 }

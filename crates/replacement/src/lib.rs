@@ -53,6 +53,6 @@ pub use sourcewise::SourcewiseReplacementPaths;
 pub use subset_rp::{subset_replacement_paths, PairReplacements, SubsetRpResult};
 pub use unionfind::NextFree;
 pub use weighted::{
-    verify_weighted_restoration_lemma, weighted_single_pair, RestorationLemmaStats,
-    WeightedEntry, WeightedSinglePair,
+    verify_weighted_restoration_lemma, weighted_single_pair, RestorationLemmaStats, WeightedEntry,
+    WeightedSinglePair,
 };

@@ -55,9 +55,8 @@ impl SourcewiseReplacementPaths {
         let path_edges: Vec<Vec<EdgeId>> = g
             .vertices()
             .map(|t| {
-                spt.path_to(t).map_or(Vec::new(), |p| {
-                    p.edge_ids(g).expect("selected paths are valid")
-                })
+                spt.path_to(t)
+                    .map_or(Vec::new(), |p| p.edge_ids(g).expect("selected paths are valid"))
             })
             .collect();
         let tree_edges: Vec<EdgeId> = spt.tree_edges().collect();
@@ -90,9 +89,7 @@ impl SourcewiseReplacementPaths {
         if !self.path_edges[t].contains(&e) {
             return self.base[t];
         }
-        self.per_tree_edge
-            .get(&e)
-            .expect("path edges are tree edges")[t]
+        self.per_tree_edge.get(&e).expect("path edges are tree edges")[t]
     }
 
     /// Number of stored distance vectors (= selected tree edges).

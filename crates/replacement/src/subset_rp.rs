@@ -130,10 +130,8 @@ pub fn subset_replacement_paths(g: &Graph, sources: &[Vertex], seed: u64) -> Sub
     // source.
     let scheme = RandomGridAtw::theorem20(g, seed).into_scheme();
     let empty = rsp_graph::FaultSet::empty();
-    let tree_edges: Vec<Vec<EdgeId>> = sources
-        .iter()
-        .map(|&s| scheme.spt(s, &empty).tree_edges().collect())
-        .collect();
+    let tree_edges: Vec<Vec<EdgeId>> =
+        sources.iter().map(|&s| scheme.spt(s, &empty).tree_edges().collect()).collect();
 
     // Step 4–5: per pair, solve on the union of the two trees.
     let mut pairs = Vec::new();
@@ -182,8 +180,7 @@ mod tests {
             for &t in &sources[i + 1..] {
                 let pair = fast.pair(s, t).expect("connected test graphs");
                 // Base distance must be the true distance.
-                let truth0 =
-                    rsp_graph::bfs(g, s, &rsp_graph::FaultSet::empty()).dist(t).unwrap();
+                let truth0 = rsp_graph::bfs(g, s, &rsp_graph::FaultSet::empty()).dist(t).unwrap();
                 assert_eq!(pair.base_dist(), truth0, "pair ({s},{t})");
                 // Path edges carry true replacement distances.
                 for entry in pair.entries() {

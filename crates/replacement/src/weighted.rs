@@ -36,9 +36,7 @@ fn perturbed_costs(g: &Graph, weights: &EdgeWeights, seed: u64) -> Vec<u128> {
     let per_edge_max = s / (g.n() as u128 + 1);
     let mut rng = StdRng::seed_from_u64(seed);
     (0..g.m())
-        .map(|e| {
-            weights.get(e) as u128 * s + rng.random_range(0..per_edge_max.max(1)) as u128
-        })
+        .map(|e| weights.get(e) as u128 * s + rng.random_range(0..per_edge_max.max(1)))
         .collect()
 }
 
@@ -295,8 +293,7 @@ mod tests {
         let g = generators::connected_gnm(20, 45, 7);
         let w = EdgeWeights::uniform(&g, 1);
         let weighted = weighted_single_pair(&g, &w, 0, 19, 5).unwrap();
-        let unweighted =
-            crate::single_pair::single_pair_replacement_paths(&g, 0, 19, 5).unwrap();
+        let unweighted = crate::single_pair::single_pair_replacement_paths(&g, 0, 19, 5).unwrap();
         assert_eq!(weighted.base_dist(), unweighted.base_dist() as u64);
         // Paths may differ (different perturbations) but distances agree
         // edge-for-edge where the paths coincide.

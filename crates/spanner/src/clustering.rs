@@ -91,7 +91,7 @@ pub fn ft_additive_spanner<S: Rpts>(scheme: &S, sigma: usize, f: usize, seed: u6
     for v in g.vertices() {
         let center_edges: Vec<EdgeId> =
             g.neighbors(v).filter(|&(u, _)| is_center[u]).map(|(_, e)| e).collect();
-        if center_edges.len() >= f + 1 {
+        if center_edges.len() > f {
             clustered += 1;
             for &e in center_edges.iter().take(f + 1) {
                 keep[e] = true;
@@ -111,14 +111,7 @@ pub fn ft_additive_spanner<S: Rpts>(scheme: &S, sigma: usize, f: usize, seed: u6
     }
 
     let edges: Vec<EdgeId> = (0..g.m()).filter(|&e| keep[e]).collect();
-    Spanner {
-        n: g.n(),
-        edges,
-        centers,
-        clustered,
-        preserver_edges,
-        faults_tolerated: f,
-    }
+    Spanner { n: g.n(), edges, centers, clustered, preserver_edges, faults_tolerated: f }
 }
 
 /// The Theorem 33 balancing choice of `σ` for an `f`-tolerated-fault

@@ -7,8 +7,7 @@
 //! ```
 
 use restorable_tiebreaking::congest::{
-    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt,
-    theorem8_round_bound,
+    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt, theorem8_round_bound,
 };
 use restorable_tiebreaking::core::RandomGridAtw;
 use restorable_tiebreaking::graph::{diameter, generators};

@@ -57,9 +57,7 @@ fn main() {
     // Run the same splice procedure with textbook BFS tables on a
     // tie-rich metro grid, across every flow and every failure.
     let metro = generators::grid(3, 4);
-    println!(
-        "\n--- same procedure with naive BFS routing tables (3x4 metro grid) ---"
-    );
+    println!("\n--- same procedure with naive BFS routing tables (3x4 metro grid) ---");
     let naive = BfsScheme::new(&metro, BfsOrder::Ascending);
     let mut incidents = 0;
     let mut restored = 0;

@@ -28,7 +28,7 @@
 //!
 //! ```
 //! use restorable_tiebreaking::core::{RandomGridAtw, restore_single_fault};
-//! use restorable_tiebreaking::graph::generators;
+//! use restorable_tiebreaking::graph::{generators, FaultSet};
 //!
 //! // 1. Build a restorable tiebreaking scheme for your network.
 //! let g = generators::grid(4, 4);
@@ -37,7 +37,7 @@
 //! // 2. A link fails: rebuild the shortest route from stored paths only.
 //! let failed = g.edge_between(5, 6).unwrap();
 //! let path = restore_single_fault(&scheme, 0, 15, failed).unwrap();
-//! assert!(path.avoids(&g, &rsp_graph::FaultSet::single(failed)));
+//! assert!(path.avoids(&g, &FaultSet::single(failed)));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,8 +45,8 @@
 
 pub use rsp_arith as arith;
 pub use rsp_congest as congest;
-pub use rsp_dag as dag;
 pub use rsp_core as core;
+pub use rsp_dag as dag;
 pub use rsp_graph as graph;
 pub use rsp_labeling as labeling;
 pub use rsp_mpls as mpls;

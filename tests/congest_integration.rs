@@ -2,8 +2,7 @@
 //! compute exactly the objects their centralized counterparts do.
 
 use restorable_tiebreaking::congest::{
-    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt,
-    scheduled_multi_spt,
+    distributed_1ft_subset_preserver, distributed_ft_spanner, distributed_spt, scheduled_multi_spt,
 };
 use restorable_tiebreaking::core::RandomGridAtw;
 use restorable_tiebreaking::graph::{bfs, diameter, generators, FaultSet};
@@ -54,9 +53,7 @@ fn distributed_preserver_equals_centralized_union_of_trees() {
     let scheme = RandomGridAtw::theorem20(&g, seed).into_scheme();
     let mut central: Vec<usize> = sources
         .iter()
-        .flat_map(|&s| {
-            scheme.spt(s, &FaultSet::empty()).tree_edges().collect::<Vec<_>>()
-        })
+        .flat_map(|&s| scheme.spt(s, &FaultSet::empty()).tree_edges().collect::<Vec<_>>())
         .collect();
     central.sort_unstable();
     central.dedup();

@@ -3,9 +3,7 @@
 //! instances.
 
 use proptest::prelude::*;
-use restorable_tiebreaking::core::{
-    restore_by_concatenation, GeometricAtw, RandomGridAtw, Rpts,
-};
+use restorable_tiebreaking::core::{restore_by_concatenation, GeometricAtw, RandomGridAtw, Rpts};
 use restorable_tiebreaking::graph::{bfs, connected_pair, generators, FaultSet};
 use restorable_tiebreaking::labeling::build_labeling;
 use restorable_tiebreaking::replacement::subset_replacement_paths;

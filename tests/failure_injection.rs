@@ -3,9 +3,7 @@
 //! against every layer.
 
 use restorable_tiebreaking::core::{restore_by_concatenation, RandomGridAtw, Rpts};
-use restorable_tiebreaking::graph::{
-    bfs, components, generators, is_connected_avoiding, FaultSet,
-};
+use restorable_tiebreaking::graph::{bfs, components, generators, is_connected_avoiding, FaultSet};
 use restorable_tiebreaking::labeling::build_labeling;
 use restorable_tiebreaking::preserver::{ft_subset_preserver, verify_preserver, PairSet};
 use restorable_tiebreaking::replacement::subset_replacement_paths;
@@ -53,10 +51,7 @@ fn vertex_isolation() {
     for p in rp.iter() {
         let (s, t) = p.pair();
         for entry in p.entries() {
-            assert_eq!(
-                entry.dist,
-                bfs(&g, s, &FaultSet::single(entry.edge)).dist(t)
-            );
+            assert_eq!(entry.dist, bfs(&g, s, &FaultSet::single(entry.edge)).dist(t));
         }
     }
 }

@@ -23,9 +23,7 @@ fn every_single_failure_restores_optimally_on_random_graphs() {
                             report.optimal_hops,
                             "seed {seed} pair ({s},{t}) edge {e}"
                         );
-                        assert!(report
-                            .restored_path
-                            .avoids(&g, &FaultSet::single(e)));
+                        assert!(report.restored_path.avoids(&g, &FaultSet::single(e)));
                     }
                     Err(MplsError::Disconnected { .. }) => {
                         assert!(

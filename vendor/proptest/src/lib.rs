@@ -1,0 +1,451 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build image has no network access to crates.io, so the workspace
+//! vendors a minimal property-testing harness covering exactly the API the
+//! test suites call: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), [`Strategy`](strategy::Strategy) with
+//! `prop_map`, [`arbitrary::any`], integer-range strategies, tuple
+//! strategies, [`collection::vec`], [`sample::Index`], and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case is not minimized; on panic the
+//!   harness prints the test name, case index, and RNG seed, which
+//!   deterministically reproduce the failing inputs (assertion messages
+//!   carry the values themselves where the property formats them);
+//! * **panic-based assertions** — `prop_assert*` forward to the `std`
+//!   assertion macros;
+//! * **default case count 64** (upstream: 256) to keep the offline test
+//!   wall-clock small; per-block `ProptestConfig::with_cases` overrides it
+//!   exactly as upstream does;
+//! * runs are **deterministic**: the RNG is seeded from the test's module
+//!   path and name, so failures reproduce without a persistence file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Strategies: deterministic generators of test values.
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree and no shrinking:
+    /// a strategy simply produces one value per test case.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::random_range(rng, self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::random_range(rng, self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::random_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy! {
+        u8, u16, u32, u64, u128, usize,
+        i8, i16, i32, i64, i128, isize,
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait behind it.
+pub mod arbitrary {
+    use core::marker::PhantomData;
+
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// The full-domain strategy for `T` (see [`any`]).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    raw as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int! {
+        u8, u16, u32, u64, u128, usize,
+        i8, i16, i32, i64, i128, isize,
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `sample::Index`, an index drawn before its target length is known.
+pub mod sample {
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    use crate::arbitrary::Arbitrary;
+
+    /// A deferred uniform index: generated as raw entropy, projected onto a
+    /// concrete `0..len` only when [`Index::index`] is called.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This index projected onto `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// A `Vec` of `element`-generated values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Per-block configuration, set with `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the offline suite fast
+            // while still exercising a spread of instances per property.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::sample::Index`, `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the fully qualified test name.
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn __new_rng(name: &str) -> StdRng {
+    <StdRng as rand::SeedableRng>::seed_from_u64(__seed_for(name))
+}
+
+/// Prints reproduction context if dropped while a case is panicking.
+#[doc(hidden)]
+pub struct __CaseGuard<'a> {
+    /// Fully qualified test name.
+    pub name: &'a str,
+    /// 0-based index of the running case.
+    pub case: u32,
+}
+
+impl Drop for __CaseGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest stub: property `{}` failed on case {} (rng seed {:#x}); \
+                 the run is deterministic, so re-running reproduces it",
+                self.name,
+                self.case,
+                __seed_for(self.name),
+            );
+        }
+    }
+}
+
+/// Define property tests over strategy-generated inputs.
+///
+/// Supports the upstream surface this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(40))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, (a, b) in my_strategy()) { .. }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategies = ($($strat,)+);
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::__new_rng(__name);
+            for __case in 0..__config.cases {
+                // Underscore-prefixed so the binding (which must stay alive
+                // through the case body for its panic-time Drop) does not
+                // trip unused-variable warnings in every expansion.
+                let _guard = $crate::__CaseGuard { name: __name, case: __case };
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::new_value(&__strategies, &mut __rng);
+                // The body runs in a closure so `prop_assume!` can skip the
+                // case with an early return.
+                let __run = || $body;
+                __run();
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a property (forwards to [`assert!`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property (forwards to [`assert_eq!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property (forwards to [`assert_ne!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..1000).prop_map(|x| (x, 2 * x))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..=9, y in 0i64..5) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((0..5).contains(&y));
+        }
+
+        #[test]
+        fn mapped_strategy((x, y) in doubled()) {
+            prop_assert_eq!(y, 2 * x);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn index_and_vec(ix in any::<prop::sample::Index>(), v in prop::collection::vec(0usize..40, 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(ix.index(v.len()) < v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_applies(_x in 0u8..3) {
+            // Runs exactly 5 cases; nothing to assert beyond termination.
+        }
+
+        /// Exercises the `__CaseGuard` panic path: the failing case makes
+        /// the guard print reproduction context to stderr on unwind.
+        #[test]
+        #[should_panic]
+        fn failing_case_panics(x in 0u8..10) {
+            prop_assert!(x > 250, "always fails: x = {}", x);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for the subset of `rand` 0.9 this workspace uses.
+//!
+//! The build image has no network access to crates.io, so the workspace
+//! vendors a minimal implementation of exactly the API surface the code
+//! calls: [`SeedableRng::seed_from_u64`], [`rngs::StdRng`],
+//! [`Rng::random_range`], [`Rng::random_bool`], and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded via
+//! SplitMix64 — not `rand`'s ChaCha12, so *streams differ from upstream
+//! `rand`*, but every consumer in this workspace only requires a
+//! deterministic, well-mixed stream for a fixed seed.
+//!
+//! Swapping the real `rand` back in is a one-line change in the workspace
+//! manifest; no source edits are required.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed, expanding it to full state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high bits of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`a..b`, `a..=b`, or `a..`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman–Vigna),
+    /// state-expanded from the seed with SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+/// Uniform range sampling (the `rand::distr` corner this workspace needs).
+pub mod distr {
+    use crate::Rng;
+
+    /// A range that can produce a uniform sample of `T`.
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+    }
+
+    /// Uniform `v` in `[0, width)`; `width == 0` means the full 128 bits.
+    fn sample_u128<R: Rng>(rng: &mut R, width: u128) -> u128 {
+        let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if width == 0 {
+            raw
+        } else {
+            // Modulo of 128 fresh bits: bias ≤ width/2^128, far below any
+            // observable effect for the ≤ 2^63-wide ranges used here.
+            raw % width
+        }
+    }
+
+    macro_rules! impl_sample_range {
+        ($($t:ty => $u:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let width = (self.end as $u).wrapping_sub(self.start as $u);
+                    let v = sample_u128(rng, width as u128) as $u;
+                    self.start.wrapping_add(v as $t)
+                }
+            }
+
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let width =
+                        (hi as $u).wrapping_sub(lo as $u).wrapping_add(1);
+                    // width == 0 means the range covers the whole type, and
+                    // sample_u128 treats 0 as "all 128 bits": the cast back
+                    // to $u then yields a uniform full-width sample.
+                    let v = sample_u128(rng, width as u128) as $u;
+                    lo.wrapping_add(v as $t)
+                }
+            }
+
+            impl SampleRange<$t> for core::ops::RangeFrom<$t> {
+                fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                    (self.start..=<$t>::MAX).sample_single(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range! {
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128,
+        usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128,
+        isize => usize,
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use crate::RngCore;
+
+    /// Random slice operations.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u = rng.random_range(3usize..10);
+            assert!((3..10).contains(&u));
+            let w = rng.random_range(1u64..);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
