@@ -39,11 +39,23 @@ enum Sign {
 /// let y = BigInt::pow2(100);
 /// assert_eq!(x - y, BigInt::pow2(101));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct BigInt {
     sign: Sign,
     /// Little-endian limbs; invariant: no trailing zeros, empty iff sign is Zero.
     mag: Vec<u64>,
+}
+
+impl Clone for BigInt {
+    fn clone(&self) -> Self {
+        BigInt { sign: self.sign, mag: self.mag.clone() }
+    }
+
+    /// Clones into existing storage, reusing `self`'s limb buffer.
+    fn clone_from(&mut self, source: &Self) {
+        self.sign = source.sign;
+        self.mag.clone_from(&source.mag);
+    }
 }
 
 impl BigInt {
@@ -245,6 +257,87 @@ impl BigInt {
         debug_assert_eq!(borrow, 0);
         Self::trim(&mut out);
         out
+    }
+
+    /// In-place `out = a + b` over magnitudes, reusing `out`'s capacity.
+    fn add_mag_into(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        out.clear();
+        out.reserve(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let x = long[i];
+            let y = if i < short.len() { short[i] } else { 0 };
+            let (s1, c1) = x.overflowing_add(y);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+
+    /// In-place `out = a - b` over magnitudes (requires `a >= b`), reusing
+    /// `out`'s capacity.
+    fn sub_mag_into(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        out.clear();
+        out.reserve(a.len());
+        let mut borrow = 0u64;
+        for i in 0..a.len() {
+            let y = if i < b.len() { b[i] } else { 0 };
+            let (d1, b1) = a[i].overflowing_sub(y);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Self::trim(out);
+    }
+
+    /// Writes `a + b` into `out`, reusing `out`'s limb buffer.
+    ///
+    /// This is the allocation-free hot path behind
+    /// [`rsp_arith::PathCost::add_into`](crate::PathCost::add_into): once a
+    /// buffer has grown to the working operand width, repeated relaxations
+    /// stop allocating entirely.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_arith::BigInt;
+    /// let mut out = BigInt::zero();
+    /// BigInt::sum_into(&BigInt::pow2(100), &BigInt::pow2(100), &mut out);
+    /// assert_eq!(out, BigInt::pow2(101));
+    /// ```
+    pub fn sum_into(a: &BigInt, b: &BigInt, out: &mut BigInt) {
+        use Sign::*;
+        match (a.sign, b.sign) {
+            (Zero, _) => out.clone_from(b),
+            (_, Zero) => out.clone_from(a),
+            (sa, sb) if sa == sb => {
+                Self::add_mag_into(&a.mag, &b.mag, &mut out.mag);
+                out.sign = sa;
+            }
+            _ => match Self::cmp_mag(&a.mag, &b.mag) {
+                Ordering::Equal => out.clear_to_zero(),
+                Ordering::Greater => {
+                    Self::sub_mag_into(&a.mag, &b.mag, &mut out.mag);
+                    out.sign = if out.mag.is_empty() { Zero } else { a.sign };
+                }
+                Ordering::Less => {
+                    Self::sub_mag_into(&b.mag, &a.mag, &mut out.mag);
+                    out.sign = if out.mag.is_empty() { Zero } else { b.sign };
+                }
+            },
+        }
+    }
+
+    /// Resets the value to zero in place, keeping the limb buffer's capacity.
+    pub fn clear_to_zero(&mut self) {
+        self.sign = Sign::Zero;
+        self.mag.clear();
     }
 
     fn from_sign_mag(sign: Sign, mag: Vec<u64>) -> Self {
@@ -520,6 +613,61 @@ mod tests {
         }
         assert_eq!(BigInt::pow2(127).to_i128(), None);
         assert_eq!((-BigInt::pow2(127)).to_i128(), Some(i128::MIN));
+    }
+
+    #[test]
+    fn sum_into_matches_operator_all_sign_shapes() {
+        let vals = [-300i128, -5, -1, 0, 1, 5, 300, 1 << 90, -(1 << 90)];
+        let mut out = BigInt::zero();
+        for &a in &vals {
+            for &b in &vals {
+                let (ba, bb) = (BigInt::from_i128(a), BigInt::from_i128(b));
+                BigInt::sum_into(&ba, &bb, &mut out);
+                assert_eq!(out, BigInt::from_i128(a + b), "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_into_reuses_buffer_without_reallocating() {
+        let a = BigInt::pow2(1000);
+        let b = BigInt::pow2(999);
+        let mut out = BigInt::zero();
+        BigInt::sum_into(&a, &b, &mut out);
+        let cap = out.mag.capacity();
+        for _ in 0..16 {
+            BigInt::sum_into(&a, &b, &mut out);
+        }
+        assert_eq!(out.mag.capacity(), cap, "warm buffer must not regrow");
+        assert_eq!(out, &a + &b);
+    }
+
+    #[test]
+    fn sum_into_carry_and_cancellation() {
+        let mut out = BigInt::pow2(3); // nonzero garbage to overwrite
+        BigInt::sum_into(&BigInt::from_u128(u128::MAX), &BigInt::one(), &mut out);
+        assert_eq!(out, BigInt::pow2(128));
+        BigInt::sum_into(&BigInt::pow2(128), &-BigInt::pow2(128), &mut out);
+        assert!(out.is_zero());
+    }
+
+    #[test]
+    fn clear_to_zero_keeps_capacity() {
+        let mut x = BigInt::pow2(512);
+        let cap = x.mag.capacity();
+        x.clear_to_zero();
+        assert!(x.is_zero());
+        assert_eq!(x.mag.capacity(), cap);
+    }
+
+    #[test]
+    fn clone_from_reuses_storage() {
+        let big = BigInt::pow2(640);
+        let mut slot = BigInt::pow2(700);
+        let cap = slot.mag.capacity();
+        slot.clone_from(&big);
+        assert_eq!(slot, big);
+        assert!(slot.mag.capacity() >= cap - 1, "clone_from must not shrink-reallocate");
     }
 
     #[test]

@@ -40,6 +40,27 @@ pub trait PathCost: Clone + Ord + std::fmt::Debug {
     /// Native integer implementations panic on overflow; callers size their
     /// weight scales so that the longest simple path cannot overflow.
     fn plus(&self, edge: &Self) -> Self;
+
+    /// Writes `self + edge` into `out`, reusing `out`'s existing storage
+    /// where possible.
+    ///
+    /// This is the relaxation hot path of the scratch-based Dijkstra in
+    /// `rsp-graph`: with arbitrary-precision costs ([`crate::BigInt`]) the
+    /// override reuses `out`'s limb buffer instead of allocating a fresh
+    /// integer per relaxed edge. The default simply assigns `self.plus(edge)`
+    /// — correct for any implementation, optimal for `Copy` integers.
+    ///
+    /// # Panics
+    ///
+    /// Same overflow behavior as [`PathCost::plus`].
+    fn add_into(&self, edge: &Self, out: &mut Self) {
+        *out = self.plus(edge);
+    }
+
+    /// Resets `self` to [`PathCost::zero`] in place, keeping its storage.
+    fn set_zero(&mut self) {
+        *self = Self::zero();
+    }
 }
 
 impl PathCost for u64 {
@@ -80,6 +101,14 @@ impl PathCost for BigInt {
     fn plus(&self, edge: &Self) -> Self {
         self + edge
     }
+
+    fn add_into(&self, edge: &Self, out: &mut Self) {
+        BigInt::sum_into(self, edge, out);
+    }
+
+    fn set_zero(&mut self) {
+        self.clear_to_zero();
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +133,38 @@ mod tests {
         let b = BigInt::pow2(100);
         assert_eq!(a.plus(&b), BigInt::pow2(101));
         assert_eq!(BigInt::zero().plus(&BigInt::one()), BigInt::one());
+    }
+
+    #[test]
+    fn add_into_matches_plus_for_integers() {
+        let mut out = 0u128;
+        7u128.add_into(&5, &mut out);
+        assert_eq!(out, 12);
+        let mut out = 0u64;
+        u64::zero().add_into(&9, &mut out);
+        assert_eq!(out, 9);
+    }
+
+    #[test]
+    fn add_into_matches_plus_for_bigint() {
+        let a = BigInt::pow2(130);
+        let b = BigInt::pow2(130);
+        // Seed `out` with unrelated storage: the in-place path must fully
+        // overwrite it.
+        let mut out = BigInt::pow2(5);
+        a.add_into(&b, &mut out);
+        assert_eq!(out, a.plus(&b));
+        assert_eq!(out, BigInt::pow2(131));
+    }
+
+    #[test]
+    fn set_zero_resets_in_place() {
+        let mut x = BigInt::pow2(200);
+        x.set_zero();
+        assert_eq!(x, BigInt::zero());
+        let mut y = 42u64;
+        y.set_zero();
+        assert_eq!(y, 0);
     }
 
     #[test]

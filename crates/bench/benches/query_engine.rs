@@ -1,0 +1,210 @@
+//! Query-engine microbenchmarks: the seed's allocating lazy-deletion
+//! Dijkstra versus the indexed decrease-key engine, fresh-scratch and
+//! reused-scratch, across the three cost types the tiebreaking schemes use
+//! (`u64`, `u128`, `BigInt`) plus the unweighted BFS layer.
+//!
+//! Each iteration replays a fixed batch of `(source, single-fault)` queries
+//! — the access pattern of the restorability, preserver, and replacement
+//! experiments. Three engines are compared per workload:
+//!
+//! * `lazy_alloc` — the pre-scratch engine, reimplemented verbatim: fresh
+//!   `O(n)` vectors per query and a `BinaryHeap<Reverse<(C, Vertex)>>` that
+//!   clones every relaxed cost into the heap;
+//! * `indexed_fresh` — the decrease-key engine through the allocating
+//!   wrappers (one fresh `SearchScratch` per query);
+//! * `indexed_reuse` — the decrease-key engine with one `SearchScratch`
+//!   reused across the whole batch (the intended hot-loop shape).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_arith::PathCost;
+use rsp_core::{ExactScheme, GeometricAtw, RandomGridAtw, Rpts};
+use rsp_graph::{
+    bfs, bfs_into, dijkstra, dijkstra_into, generators, EdgeId, FaultSet, Graph, SearchScratch,
+    Vertex,
+};
+
+/// Single-fault queries spread across the edge set, all from source 0.
+fn fault_batch(g: &Graph, queries: usize) -> Vec<FaultSet> {
+    (0..queries).map(|i| FaultSet::single(i * g.m() / queries)).collect()
+}
+
+/// The seed engine, kept verbatim as the benchmark baseline: lazy-deletion
+/// binary heap, freshly allocated per-query state, costs cloned into the
+/// heap on every improving relaxation.
+fn lazy_dijkstra<C, F>(g: &Graph, source: Vertex, faults: &FaultSet, mut edge_cost: F) -> usize
+where
+    C: PathCost,
+    F: FnMut(EdgeId, Vertex, Vertex) -> C,
+{
+    let n = g.n();
+    let mut best: Vec<Option<C>> = vec![None; n];
+    let mut parent: Vec<Option<(Vertex, EdgeId)>> = vec![None; n];
+    let mut hops = vec![0u32; n];
+    let mut settled = vec![false; n];
+    let mut ties = false;
+    let mut heap: BinaryHeap<Reverse<(C, Vertex)>> = BinaryHeap::new();
+    best[source] = Some(C::zero());
+    heap.push(Reverse((C::zero(), source)));
+    while let Some(Reverse((cost_u, u))) = heap.pop() {
+        if settled[u] || best[u].as_ref() != Some(&cost_u) {
+            continue;
+        }
+        settled[u] = true;
+        for (v, e) in g.neighbors(u) {
+            if faults.contains(e) {
+                continue;
+            }
+            let cand = cost_u.plus(&edge_cost(e, u, v));
+            match &best[v] {
+                Some(cur) if *cur < cand => {}
+                Some(cur) if *cur == cand => ties = true,
+                _ => {
+                    best[v] = Some(cand.clone());
+                    parent[v] = Some((u, e));
+                    hops[v] = hops[u] + 1;
+                    heap.push(Reverse((cand, v)));
+                }
+            }
+        }
+    }
+    std::hint::black_box(ties);
+    best.iter().filter(|c| c.is_some()).count()
+}
+
+/// Benchmarks the three engines over a scheme's exact costs.
+fn bench_scheme_engines<C: PathCost + 'static>(
+    c: &mut Criterion,
+    label: &str,
+    scheme: &ExactScheme<C>,
+    queries: usize,
+) {
+    let g = scheme.graph().clone();
+    let faults = fault_batch(&g, queries);
+
+    let mut group = c.benchmark_group(label);
+    group.bench_function("lazy_alloc", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for f in &faults {
+                reached += lazy_dijkstra(&g, 0, f, |e, u, v| scheme.edge_cost(e, u, v));
+            }
+            reached
+        })
+    });
+    group.bench_function("indexed_fresh", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for f in &faults {
+                reached += scheme.spt(0, f).reachable_count();
+            }
+            reached
+        })
+    });
+    let mut scratch = SearchScratch::<C>::with_capacity(g.n());
+    group.bench_function("indexed_reuse", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for f in &faults {
+                scheme.spt_into(0, f, &mut scratch);
+                reached += scratch.reachable_count();
+            }
+            reached
+        })
+    });
+    group.finish();
+}
+
+/// u64 costs on a grid: closure-supplied weights, no scheme overhead.
+fn bench_u64_grid(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let faults = fault_batch(&g, 8);
+    let cost = |e: EdgeId, from: Vertex, to: Vertex| {
+        1_000_000u64 + (e as u64 % 251) + u64::from(from < to)
+    };
+
+    let mut group = c.benchmark_group("query_engine/u64_grid16x16");
+    group.bench_function("lazy_alloc", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for f in &faults {
+                reached += lazy_dijkstra(&g, 0, f, cost);
+            }
+            reached
+        })
+    });
+    group.bench_function("indexed_fresh", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for f in &faults {
+                reached += dijkstra(&g, 0, f, cost).reachable_count();
+            }
+            reached
+        })
+    });
+    let mut scratch = SearchScratch::<u64>::with_capacity(g.n());
+    group.bench_function("indexed_reuse", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for f in &faults {
+                dijkstra_into(&g, 0, f, cost, &mut scratch);
+                reached += scratch.reachable_count();
+            }
+            reached
+        })
+    });
+    group.finish();
+}
+
+/// u128 costs: the Theorem 20 randomized scheme on a random graph.
+fn bench_u128_random(c: &mut Criterion) {
+    let g = generators::connected_gnm(300, 1200, 7);
+    let scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
+    bench_scheme_engines(c, "query_engine/u128_gnm300", &scheme, 8);
+}
+
+/// BigInt costs: the Theorem 23 deterministic geometric scheme — the
+/// workload where heap clones and per-edge allocations hurt most.
+fn bench_bigint_grid(c: &mut Criterion) {
+    let g = generators::grid(10, 10);
+    let scheme = GeometricAtw::new(&g).into_scheme();
+    bench_scheme_engines(c, "query_engine/bigint_grid10x10", &scheme, 8);
+}
+
+/// The unweighted layer: allocating BFS versus reused-scratch BFS.
+fn bench_bfs(c: &mut Criterion) {
+    let g = generators::connected_gnm(400, 1600, 3);
+    let faults = fault_batch(&g, 16);
+
+    let mut group = c.benchmark_group("query_engine/bfs_gnm400");
+    group.bench_function("alloc", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for f in &faults {
+                reached += bfs(&g, 0, f).reachable_count();
+            }
+            reached
+        })
+    });
+    let mut scratch = SearchScratch::<u32>::with_capacity(g.n());
+    group.bench_function("scratch_reuse", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for f in &faults {
+                bfs_into(&g, 0, f, &mut scratch);
+                reached += scratch.reachable_count();
+            }
+            reached
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_u64_grid, bench_u128_random, bench_bigint_grid, bench_bfs
+}
+criterion_main!(benches);

@@ -76,6 +76,7 @@ pub use geometric_atw::GeometricAtw;
 pub use naive::{BfsOrder, BfsScheme};
 pub use random_atw::RandomGridAtw;
 pub use restore::{
-    restoration_stats, restore_by_concatenation, restore_single_fault, RestorationStats,
+    restoration_stats, restore_by_concatenation, restore_by_concatenation_with,
+    restore_single_fault, restore_single_fault_with, RestorationStats,
 };
-pub use scheme::{ExactScheme, Rpts};
+pub use scheme::{ExactScheme, Rpts, RptsScratch};

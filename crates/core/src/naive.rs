@@ -9,9 +9,9 @@
 //! alternative avoids it. Experiment E1 quantifies how often that actually
 //! happens.
 
-use rsp_graph::{bfs, BfsTree, FaultSet, Graph, Vertex};
+use rsp_graph::{bfs, bfs_into, BfsTree, FaultSet, Graph, Vertex};
 
-use crate::scheme::Rpts;
+use crate::scheme::{Rpts, RptsScratch};
 
 /// Neighbor visit order for the baseline BFS scheme.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -94,6 +94,18 @@ impl Rpts for BfsScheme {
         }
         BfsTree::from_parts(s, dist, parent)
     }
+
+    fn tree_from_with(&self, s: Vertex, faults: &FaultSet, scratch: &mut RptsScratch) -> BfsTree {
+        if self.flip {
+            // The descending order rebuilds a flipped graph per call anyway;
+            // scratch reuse would be noise. Take the cold path.
+            return self.tree_from(s, faults);
+        }
+        // Every RptsScratch carries unweighted BFS state; no payload needed.
+        let sc = scratch.bfs_scratch();
+        bfs_into(&self.graph, s, faults, sc);
+        sc.to_bfs_tree()
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +140,23 @@ mod tests {
                 let truth = bfs(&g, src, &FaultSet::empty());
                 for t in g.vertices() {
                     assert_eq!(tree.dist(t), truth.dist(t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_queries_match_allocating_queries() {
+        let g = generators::grid(3, 3);
+        for order in [BfsOrder::Ascending, BfsOrder::Descending] {
+            let s = BfsScheme::new(&g, order);
+            let mut scratch = s.new_scratch();
+            for src in g.vertices() {
+                let with = s.tree_from_with(src, &FaultSet::single(0), &mut scratch);
+                let plain = s.tree_from(src, &FaultSet::single(0));
+                for t in g.vertices() {
+                    assert_eq!(with.dist(t), plain.dist(t));
+                    assert_eq!(with.parent(t), plain.parent(t));
                 }
             }
         }

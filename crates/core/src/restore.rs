@@ -8,9 +8,9 @@
 //! can fail — that gap is the paper's subject, quantified by
 //! [`restoration_stats`] (experiment E1).
 
-use rsp_graph::{bfs, connected_pair, FaultSet, Path, Vertex};
+use rsp_graph::{bfs_into, connected_pair, FaultSet, Path, Vertex};
 
-use crate::scheme::Rpts;
+use crate::scheme::{Rpts, RptsScratch};
 
 /// Attempts to restore a shortest `s ⇝ t` replacement path avoiding `F` by
 /// concatenating two selected paths (Definition 17).
@@ -43,15 +43,36 @@ pub fn restore_by_concatenation<S: Rpts>(
     t: Vertex,
     faults: &FaultSet,
 ) -> Option<Path> {
+    let mut scratch = scheme.new_scratch();
+    restore_by_concatenation_with(scheme, s, t, faults, &mut scratch)
+}
+
+/// [`restore_by_concatenation`] reusing scheme search state across calls.
+///
+/// Restoration sweeps (experiment E1, [`restoration_stats`], the
+/// restorability verifier) issue one attempt per `(s, t, F)` instance;
+/// passing one [`Rpts::new_scratch`] allocation through all of them keeps
+/// the underlying tree queries allocation-free.
+pub fn restore_by_concatenation_with<S: Rpts>(
+    scheme: &S,
+    s: Vertex,
+    t: Vertex,
+    faults: &FaultSet,
+    scratch: &mut RptsScratch,
+) -> Option<Path> {
     let g = scheme.graph();
     if s == t {
         return Some(Path::trivial(s));
     }
     if faults.is_empty() {
         // Nothing failed: the selected path is its own restoration.
-        return scheme.path(s, t, faults);
+        return scheme.path_with(s, t, faults, scratch);
     }
-    let target_dist = bfs(g, s, faults).dist(t)?;
+    let target_dist = {
+        let truth = scratch.bfs_scratch();
+        bfs_into(g, s, faults, truth);
+        truth.dist(t)?
+    };
 
     // Order proper subsets by size: stability usually makes small subsets
     // succeed, and the f = 1 case then needs only the non-faulty tables.
@@ -59,8 +80,8 @@ pub fn restore_by_concatenation<S: Rpts>(
     subsets.sort_by_key(|f| f.len());
 
     for sub in &subsets {
-        let tree_s = scheme.tree_from(s, sub);
-        let tree_t = scheme.tree_from(t, sub);
+        let tree_s = scheme.tree_from_with(s, sub, scratch);
+        let tree_t = scheme.tree_from_with(t, sub, scratch);
         for x in g.vertices() {
             let (Some(ps), Some(pt)) = (tree_s.path_to(x), tree_t.path_to(x)) else {
                 continue;
@@ -90,15 +111,31 @@ pub fn restore_single_fault<S: Rpts>(
     t: Vertex,
     failed_edge: rsp_graph::EdgeId,
 ) -> Option<Path> {
+    let mut scratch = scheme.new_scratch();
+    restore_single_fault_with(scheme, s, t, failed_edge, &mut scratch)
+}
+
+/// [`restore_single_fault`] reusing scheme search state across calls.
+pub fn restore_single_fault_with<S: Rpts>(
+    scheme: &S,
+    s: Vertex,
+    t: Vertex,
+    failed_edge: rsp_graph::EdgeId,
+    scratch: &mut RptsScratch,
+) -> Option<Path> {
     let g = scheme.graph();
     let faults = FaultSet::single(failed_edge);
     if s == t {
         return Some(Path::trivial(s));
     }
-    let target_dist = bfs(g, s, &faults).dist(t)?;
+    let target_dist = {
+        let truth = scratch.bfs_scratch();
+        bfs_into(g, s, &faults, truth);
+        truth.dist(t)?
+    };
     let empty = FaultSet::empty();
-    let tree_s = scheme.tree_from(s, &empty);
-    let tree_t = scheme.tree_from(t, &empty);
+    let tree_s = scheme.tree_from_with(s, &empty, scratch);
+    let tree_t = scheme.tree_from_with(t, &empty, scratch);
     for x in g.vertices() {
         let (Some(ps), Some(pt)) = (tree_s.path_to(x), tree_t.path_to(x)) else {
             continue;
@@ -148,15 +185,17 @@ impl RestorationStats {
 pub fn restoration_stats<S: Rpts>(scheme: &S) -> RestorationStats {
     let g = scheme.graph();
     let mut stats = RestorationStats::default();
+    let mut scratch = scheme.new_scratch();
+    let mut faults = FaultSet::empty();
     for (e, _, _) in g.edges() {
-        let faults = FaultSet::single(e);
+        faults.replace_single(e);
         for s in g.vertices() {
             for t in g.vertices() {
                 if s == t || !connected_pair(g, s, t, &faults) {
                     continue;
                 }
                 stats.attempted += 1;
-                match restore_by_concatenation(scheme, s, t, &faults) {
+                match restore_by_concatenation_with(scheme, s, t, &faults, &mut scratch) {
                     Some(_) => stats.restored += 1,
                     None => {
                         stats.failed += 1;
@@ -176,7 +215,7 @@ mod tests {
     use super::*;
     use crate::naive::{BfsOrder, BfsScheme};
     use crate::random_atw::RandomGridAtw;
-    use rsp_graph::generators;
+    use rsp_graph::{bfs, generators};
 
     #[test]
     fn restores_across_single_faults_on_cycle() {

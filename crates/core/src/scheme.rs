@@ -1,8 +1,66 @@
 //! Replacement-path tiebreaking schemes (Definition 15) and the
 //! weight-induced scheme of Theorem 19.
 
+use std::any::Any;
+use std::fmt;
+
 use rsp_arith::PathCost;
-use rsp_graph::{dijkstra, BfsTree, EdgeId, FaultSet, Graph, Path, Vertex, WeightedSpt};
+use rsp_graph::{
+    BfsTree, DirectedCosts, EdgeId, FaultSet, Graph, Path, SearchScratch, Vertex, WeightedSpt,
+};
+
+/// Opaque reusable search state for repeated scheme queries.
+///
+/// Obtained from [`Rpts::new_scratch`] and threaded through the `_with`
+/// query methods ([`Rpts::tree_from_with`], [`Rpts::dist_with`],
+/// [`Rpts::path_with`]); hot loops allocate one and reuse it across
+/// thousands of `(source, fault set)` queries. The payload is
+/// scheme-specific (the exact schemes store a
+/// [`rsp_graph::SearchScratch`] over their cost type), hence the type
+/// erasure: callers generic over [`Rpts`] need not know the cost type.
+///
+/// A scratch from one scheme may be handed to another; a payload type
+/// mismatch is not an error — the query simply falls back to the
+/// allocating path.
+pub struct RptsScratch {
+    payload: Option<Box<dyn Any>>,
+    /// Unweighted ground-truth BFS state, shared by every consumer
+    /// (restoration needs `dist_{G\F}` alongside the scheme's own trees).
+    bfs: rsp_graph::SearchScratch<u32>,
+}
+
+impl RptsScratch {
+    /// A scratch for schemes without buffer reuse (the trait default).
+    pub fn unsupported() -> Self {
+        RptsScratch { payload: None, bfs: rsp_graph::SearchScratch::new() }
+    }
+
+    /// Wraps a concrete scratch payload.
+    pub fn from_value<T: Any>(value: T) -> Self {
+        RptsScratch { payload: Some(Box::new(value)), bfs: rsp_graph::SearchScratch::new() }
+    }
+
+    /// The payload, if it has type `T`.
+    pub fn downcast_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.payload.as_mut()?.downcast_mut()
+    }
+
+    /// Reusable state for ground-truth (unweighted) BFS queries issued
+    /// next to the scheme's own trees — e.g. the `dist_{G\F}(s, t)` target
+    /// every restoration attempt starts from.
+    pub fn bfs_scratch(&mut self) -> &mut rsp_graph::SearchScratch<u32> {
+        &mut self.bfs
+    }
+}
+
+impl fmt::Debug for RptsScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.payload {
+            Some(_) => write!(f, "RptsScratch(..)"),
+            None => write!(f, "RptsScratch(unsupported)"),
+        }
+    }
+}
 
 /// An `f`-replacement-path tiebreaking scheme (Definition 15): a function
 /// `π(s, t | F)` selecting one shortest `s ⇝ t` path in `G \ F` per ordered
@@ -38,6 +96,46 @@ pub trait Rpts {
     fn dist(&self, s: Vertex, t: Vertex, faults: &FaultSet) -> Option<u32> {
         self.tree_from(s, faults).dist(t)
     }
+
+    /// Allocates reusable search state for this scheme's `_with` queries.
+    ///
+    /// The default supports no reuse; schemes backed by the scratch-based
+    /// query engine override it. One scratch serves any number of
+    /// consecutive queries against the same scheme.
+    fn new_scratch(&self) -> RptsScratch {
+        RptsScratch::unsupported()
+    }
+
+    /// [`Rpts::tree_from`], reusing `scratch`'s buffers across calls.
+    ///
+    /// Behavior is identical to `tree_from`; only the allocation profile
+    /// differs. The default ignores the scratch.
+    fn tree_from_with(&self, s: Vertex, faults: &FaultSet, scratch: &mut RptsScratch) -> BfsTree {
+        let _ = scratch;
+        self.tree_from(s, faults)
+    }
+
+    /// [`Rpts::dist`], reusing `scratch`'s buffers across calls.
+    fn dist_with(
+        &self,
+        s: Vertex,
+        t: Vertex,
+        faults: &FaultSet,
+        scratch: &mut RptsScratch,
+    ) -> Option<u32> {
+        self.tree_from_with(s, faults, scratch).dist(t)
+    }
+
+    /// [`Rpts::path`], reusing `scratch`'s buffers across calls.
+    fn path_with(
+        &self,
+        s: Vertex,
+        t: Vertex,
+        faults: &FaultSet,
+        scratch: &mut RptsScratch,
+    ) -> Option<Path> {
+        self.tree_from_with(s, faults, scratch).path_to(t)
+    }
 }
 
 /// The scheme induced by exact per-direction edge costs in `G*` — the
@@ -61,7 +159,7 @@ pub struct ExactScheme<C> {
     bits_per_weight: usize,
 }
 
-impl<C: PathCost> ExactScheme<C> {
+impl<C: PathCost + 'static> ExactScheme<C> {
     /// Builds a scheme from explicit per-direction edge costs.
     ///
     /// `unit` is the scaled cost of an unperturbed unit edge and
@@ -121,8 +219,45 @@ impl<C: PathCost> ExactScheme<C> {
     /// For a valid tiebreaking weight function
     /// [`WeightedSpt::ties_detected`] is `false` and the tree's paths are
     /// the unique minimum-cost — hence canonical — shortest paths.
+    ///
+    /// Allocates a fresh scratch per call; loops should use
+    /// [`ExactScheme::spt_into`].
     pub fn spt(&self, s: Vertex, faults: &FaultSet) -> WeightedSpt<C> {
-        dijkstra(&self.graph, s, faults, |e, from, to| self.edge_cost(e, from, to))
+        let mut scratch = SearchScratch::with_capacity(self.graph.n());
+        self.spt_into(s, faults, &mut scratch);
+        scratch.to_weighted_spt()
+    }
+
+    /// Runs the SPT query from `s` in `G* \ F` into a reusable scratch.
+    ///
+    /// The clone-free hot path: stored per-direction costs are borrowed
+    /// straight into the relaxation (no [`ExactScheme::edge_cost`] clone),
+    /// and results — costs, hops, parents, paths, tree edges — are read
+    /// directly from the scratch without materializing a tree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::{GeometricAtw, Rpts};
+    /// use rsp_graph::{generators, FaultSet, SearchScratch};
+    /// use rsp_arith::BigInt;
+    ///
+    /// let g = generators::grid(3, 3);
+    /// let scheme = GeometricAtw::new(&g).into_scheme();
+    /// let mut scratch = SearchScratch::<BigInt>::with_capacity(g.n());
+    /// for e in 0..g.m() {
+    ///     scheme.spt_into(0, &FaultSet::single(e), &mut scratch);
+    ///     assert!(!scratch.ties_detected(), "Theorem 23 weights are tie-free");
+    /// }
+    /// ```
+    pub fn spt_into(&self, s: Vertex, faults: &FaultSet, scratch: &mut SearchScratch<C>) {
+        rsp_graph::dijkstra_into(
+            &self.graph,
+            s,
+            faults,
+            DirectedCosts::new(&self.fwd, &self.bwd),
+            scratch,
+        );
     }
 
     /// The exact cost of an explicit path under this scheme's weights.
@@ -147,13 +282,61 @@ impl<C: PathCost> ExactScheme<C> {
     }
 }
 
-impl<C: PathCost> Rpts for ExactScheme<C> {
+impl<C: PathCost + 'static> Rpts for ExactScheme<C> {
     fn graph(&self) -> &Graph {
         &self.graph
     }
 
     fn tree_from(&self, s: Vertex, faults: &FaultSet) -> BfsTree {
-        self.spt(s, faults).to_bfs_tree()
+        let mut scratch = SearchScratch::with_capacity(self.graph.n());
+        self.spt_into(s, faults, &mut scratch);
+        scratch.to_bfs_tree()
+    }
+
+    fn new_scratch(&self) -> RptsScratch {
+        RptsScratch::from_value(SearchScratch::<C>::with_capacity(self.graph.n()))
+    }
+
+    fn tree_from_with(&self, s: Vertex, faults: &FaultSet, scratch: &mut RptsScratch) -> BfsTree {
+        match scratch.downcast_mut::<SearchScratch<C>>() {
+            Some(sc) => {
+                self.spt_into(s, faults, sc);
+                sc.to_bfs_tree()
+            }
+            None => self.tree_from(s, faults),
+        }
+    }
+
+    fn dist_with(
+        &self,
+        s: Vertex,
+        t: Vertex,
+        faults: &FaultSet,
+        scratch: &mut RptsScratch,
+    ) -> Option<u32> {
+        match scratch.downcast_mut::<SearchScratch<C>>() {
+            Some(sc) => {
+                self.spt_into(s, faults, sc);
+                sc.hops(t)
+            }
+            None => self.dist(s, t, faults),
+        }
+    }
+
+    fn path_with(
+        &self,
+        s: Vertex,
+        t: Vertex,
+        faults: &FaultSet,
+        scratch: &mut RptsScratch,
+    ) -> Option<Path> {
+        match scratch.downcast_mut::<SearchScratch<C>>() {
+            Some(sc) => {
+                self.spt_into(s, faults, sc);
+                sc.path_to(t)
+            }
+            None => self.path(s, t, faults),
+        }
     }
 }
 
@@ -215,6 +398,55 @@ mod tests {
         let p = s.path(0, 2, &FaultSet::empty()).unwrap();
         let q = s.reverse_path(2, 0, &FaultSet::empty()).unwrap();
         assert_eq!(p.reversed(), q);
+    }
+
+    #[test]
+    fn scratch_queries_match_allocating_queries() {
+        let s = tiny_scheme();
+        let g = s.graph().clone();
+        let mut scratch = s.new_scratch();
+        let fault_sets = [FaultSet::empty(), FaultSet::single(0), FaultSet::from_edges([1, 2])];
+        for faults in &fault_sets {
+            for src in g.vertices() {
+                let with = s.tree_from_with(src, faults, &mut scratch);
+                let plain = s.tree_from(src, faults);
+                for t in g.vertices() {
+                    assert_eq!(with.dist(t), plain.dist(t));
+                    assert_eq!(with.parent(t), plain.parent(t));
+                    assert_eq!(s.dist_with(src, t, faults, &mut scratch), s.dist(src, t, faults));
+                    assert_eq!(s.path_with(src, t, faults, &mut scratch), s.path(src, t, faults));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spt_into_matches_spt() {
+        let s = tiny_scheme();
+        let mut scratch = rsp_graph::SearchScratch::<u128>::new();
+        for src in s.graph().vertices() {
+            s.spt_into(src, &FaultSet::single(1), &mut scratch);
+            let fresh = s.spt(src, &FaultSet::single(1));
+            for t in s.graph().vertices() {
+                assert_eq!(scratch.cost(t), fresh.cost(t));
+                assert_eq!(scratch.hops(t), fresh.hops(t));
+            }
+            assert_eq!(scratch.ties_detected(), fresh.ties_detected());
+        }
+    }
+
+    #[test]
+    fn foreign_scratch_falls_back_to_allocating_path() {
+        let s = tiny_scheme();
+        // A payload of the wrong type: queries must still answer correctly.
+        let mut wrong = RptsScratch::from_value(42u8);
+        assert_eq!(
+            s.dist_with(0, 2, &FaultSet::empty(), &mut wrong),
+            s.dist(0, 2, &FaultSet::empty())
+        );
+        let mut none = RptsScratch::unsupported();
+        let tree = s.tree_from_with(0, &FaultSet::empty(), &mut none);
+        assert_eq!(tree.dist(2), s.dist(0, 2, &FaultSet::empty()));
     }
 
     #[test]

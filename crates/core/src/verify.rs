@@ -12,9 +12,9 @@ use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rsp_graph::{bfs, connected_pair, FaultSet, Path, Vertex};
+use rsp_graph::{bfs_into, connected_pair, FaultSet, Path, Vertex};
 
-use crate::restore::restore_by_concatenation;
+use crate::restore::restore_by_concatenation_with;
 use crate::scheme::Rpts;
 
 /// A witness that a scheme violates one of the paper's properties.
@@ -99,7 +99,9 @@ impl Error for Violation {}
 /// an error: `0` means the scheme is symmetric under `faults`.
 pub fn count_asymmetric_pairs<S: Rpts>(scheme: &S, faults: &FaultSet) -> usize {
     let g = scheme.graph();
-    let trees: Vec<_> = g.vertices().map(|s| scheme.tree_from(s, faults)).collect();
+    let mut scratch = scheme.new_scratch();
+    let trees: Vec<_> =
+        g.vertices().map(|s| scheme.tree_from_with(s, faults, &mut scratch)).collect();
     let mut count = 0;
     for s in g.vertices() {
         for t in (s + 1)..g.n() {
@@ -121,10 +123,12 @@ pub fn count_asymmetric_pairs<S: Rpts>(scheme: &S, faults: &FaultSet) -> usize {
 /// Returns the first [`Violation::NotShortest`] found.
 pub fn verify_shortest<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(), Violation> {
     let g = scheme.graph();
+    let mut scratch = scheme.new_scratch();
     for faults in fault_sets {
         for s in g.vertices() {
-            let tree = scheme.tree_from(s, faults);
-            let truth = bfs(g, s, faults);
+            let tree = scheme.tree_from_with(s, faults, &mut scratch);
+            let truth = scratch.bfs_scratch();
+            bfs_into(g, s, faults, truth);
             for t in g.vertices() {
                 if tree.dist(t) != truth.dist(t) {
                     return Err(Violation::NotShortest { s, t, faults: faults.clone() });
@@ -147,7 +151,9 @@ pub fn verify_shortest<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(
 /// Returns the first [`Violation::Inconsistent`] found.
 pub fn verify_consistency<S: Rpts>(scheme: &S, faults: &FaultSet) -> Result<(), Violation> {
     let g = scheme.graph();
-    let trees: Vec<_> = g.vertices().map(|s| scheme.tree_from(s, faults)).collect();
+    let mut scratch = scheme.new_scratch();
+    let trees: Vec<_> =
+        g.vertices().map(|s| scheme.tree_from_with(s, faults, &mut scratch)).collect();
     for s in g.vertices() {
         for t in g.vertices() {
             let Some(p) = trees[s].path_to(t) else { continue };
@@ -194,16 +200,16 @@ pub fn verify_consistency_sampled<S: Rpts>(
 ) -> Result<(), Violation> {
     let g = scheme.graph();
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = scheme.new_scratch();
     for _ in 0..samples {
         let s = rng.random_range(0..g.n());
         let t = rng.random_range(0..g.n());
-        let tree_s = scheme.tree_from(s, faults);
-        let Some(p) = tree_s.path_to(t) else { continue };
+        let Some(p) = scheme.path_with(s, t, faults, &mut scratch) else { continue };
         let verts = p.vertices().to_vec();
         // Check each subpair against its own tree (computing only the
         // trees we need).
         for i in 0..verts.len() {
-            let tree_u = scheme.tree_from(verts[i], faults);
+            let tree_u = scheme.tree_from_with(verts[i], faults, &mut scratch);
             for j in (i + 1)..verts.len() {
                 let inner = tree_u.path_to(verts[j]).expect("connected");
                 if inner.vertices() != &verts[i..=j] {
@@ -232,9 +238,10 @@ pub fn verify_consistency_sampled<S: Rpts>(
 /// Returns the first [`Violation::Unstable`] found.
 pub fn verify_stability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(), Violation> {
     let g = scheme.graph();
+    let mut scratch = scheme.new_scratch();
     for faults in fault_sets {
         for s in g.vertices() {
-            let tree = scheme.tree_from(s, faults);
+            let tree = scheme.tree_from_with(s, faults, &mut scratch);
             for t in g.vertices() {
                 let Some(p) = tree.path_to(t) else { continue };
                 for (e, _, _) in g.edges() {
@@ -242,7 +249,7 @@ pub fn verify_stability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<
                         continue;
                     }
                     let bigger = faults.with(e);
-                    let p2 = scheme.path(s, t, &bigger);
+                    let p2 = scheme.path_with(s, t, &bigger, &mut scratch);
                     if p2.as_ref() != Some(&p) {
                         return Err(Violation::Unstable { s, t, faults: faults.clone(), extra: e });
                     }
@@ -261,6 +268,7 @@ pub fn verify_stability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<
 /// Returns the first [`Violation::NotRestorable`] found.
 pub fn verify_restorability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(), Violation> {
     let g = scheme.graph();
+    let mut scratch = scheme.new_scratch();
     for faults in fault_sets {
         if faults.is_empty() {
             continue;
@@ -270,7 +278,7 @@ pub fn verify_restorability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Res
                 if s == t || !connected_pair(g, s, t, faults) {
                     continue;
                 }
-                if restore_by_concatenation(scheme, s, t, faults).is_none() {
+                if restore_by_concatenation_with(scheme, s, t, faults, &mut scratch).is_none() {
                     return Err(Violation::NotRestorable { s, t, faults: faults.clone() });
                 }
             }

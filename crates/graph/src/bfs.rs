@@ -4,11 +4,10 @@
 //! verifies a preserver, spanner, label, or replacement path compares
 //! against distances computed here.
 
-use std::collections::VecDeque;
-
 use crate::fault::FaultSet;
 use crate::graph::{EdgeId, Graph, Vertex};
 use crate::path::Path;
+use crate::scratch::{bfs_into, SearchScratch};
 
 /// The result of a BFS from a single source: a shortest-path (BFS) tree.
 ///
@@ -108,28 +107,17 @@ impl BfsTree {
 /// fail restoration-by-concatenation. The restorable schemes live in
 /// `rsp-core`.
 ///
+/// This is the allocate-once wrapper over the scratch-based engine; loops
+/// issuing many BFS queries should hold a [`crate::SearchScratch`] and call
+/// [`crate::bfs_into`] directly.
+///
 /// # Panics
 ///
 /// Panics if `source >= g.n()`.
 pub fn bfs(g: &Graph, source: Vertex, faults: &FaultSet) -> BfsTree {
-    assert!(source < g.n(), "bfs source {source} out of range");
-    let mut dist = vec![None; g.n()];
-    let mut parent = vec![None; g.n()];
-    let mut queue = VecDeque::new();
-    dist[source] = Some(0);
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u].expect("queued vertices have distances");
-        for (v, e) in g.neighbors(u) {
-            if faults.contains(e) || dist[v].is_some() {
-                continue;
-            }
-            dist[v] = Some(du + 1);
-            parent[v] = Some((u, e));
-            queue.push_back(v);
-        }
-    }
-    BfsTree { source, dist, parent }
+    let mut scratch = SearchScratch::<u32>::with_capacity(g.n());
+    bfs_into(g, source, faults, &mut scratch);
+    scratch.to_bfs_tree()
 }
 
 /// Runs BFS from every vertex, returning one tree per source.

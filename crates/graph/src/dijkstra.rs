@@ -8,13 +8,11 @@
 //! the randomized schemes, [`rsp_arith::BigInt`] for the deterministic
 //! geometric scheme.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use rsp_arith::PathCost;
 
 use crate::fault::FaultSet;
 use crate::graph::{EdgeId, Graph, Vertex};
+use crate::scratch::{dijkstra_into, SearchScratch};
 use crate::spt::WeightedSpt;
 
 /// Runs Dijkstra from `source` in `g \ faults` with per-direction edge costs
@@ -29,6 +27,12 @@ use crate::spt::WeightedSpt;
 /// The asymmetry of the paper's weight functions is expressed through the
 /// `(from, to)` arguments: `edge_cost(e, u, v)` and `edge_cost(e, v, u)`
 /// generally differ (they average to the unit weight).
+///
+/// This is the allocate-once convenience wrapper around the scratch-based
+/// engine ([`crate::dijkstra_into`]): it builds one fresh
+/// [`crate::SearchScratch`], runs the indexed decrease-key search, and
+/// materializes an owned tree. Loops issuing many queries should hold a
+/// scratch and call [`crate::dijkstra_into`] directly.
 ///
 /// # Panics
 ///
@@ -45,62 +49,14 @@ use crate::spt::WeightedSpt;
 /// assert_eq!(spt.cost(3), Some(&3));
 /// assert!(spt.ties_detected()); // two equal ways around the cycle
 /// ```
-pub fn dijkstra<C, F>(
-    g: &Graph,
-    source: Vertex,
-    faults: &FaultSet,
-    mut edge_cost: F,
-) -> WeightedSpt<C>
+pub fn dijkstra<C, F>(g: &Graph, source: Vertex, faults: &FaultSet, edge_cost: F) -> WeightedSpt<C>
 where
     C: PathCost,
     F: FnMut(EdgeId, Vertex, Vertex) -> C,
 {
-    assert!(source < g.n(), "dijkstra source {source} out of range");
-    let n = g.n();
-    let mut best: Vec<Option<C>> = vec![None; n];
-    let mut parent: Vec<Option<(Vertex, EdgeId)>> = vec![None; n];
-    let mut hops = vec![0u32; n];
-    let mut settled = vec![false; n];
-    let mut ties = false;
-
-    // Lazy-deletion heap keyed by exact cost, then vertex id. The vertex id
-    // component never decides *path selection* (costs from a valid
-    // tiebreaking function are unique); it only makes heap order total.
-    let mut heap: BinaryHeap<Reverse<(C, Vertex)>> = BinaryHeap::new();
-    best[source] = Some(C::zero());
-    heap.push(Reverse((C::zero(), source)));
-
-    while let Some(Reverse((cost_u, u))) = heap.pop() {
-        if settled[u] {
-            continue;
-        }
-        // Stale entry: a better cost was found after this push.
-        if best[u].as_ref() != Some(&cost_u) {
-            continue;
-        }
-        settled[u] = true;
-        for (v, e) in g.neighbors(u) {
-            if faults.contains(e) {
-                continue;
-            }
-            let cand = cost_u.plus(&edge_cost(e, u, v));
-            match &best[v] {
-                Some(cur) if *cur < cand => {}
-                Some(cur) if *cur == cand => {
-                    // Two distinct minimum-cost routes to v: a genuine tie.
-                    ties = true;
-                }
-                _ => {
-                    best[v] = Some(cand.clone());
-                    parent[v] = Some((u, e));
-                    hops[v] = hops[u] + 1;
-                    heap.push(Reverse((cand, v)));
-                }
-            }
-        }
-    }
-
-    WeightedSpt::new(source, parent, best, hops, ties)
+    let mut scratch = SearchScratch::with_capacity(g.n());
+    dijkstra_into(g, source, faults, edge_cost, &mut scratch);
+    scratch.to_weighted_spt()
 }
 
 #[cfg(test)]

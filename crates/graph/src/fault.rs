@@ -48,23 +48,59 @@ impl FaultSet {
     }
 
     /// Number of failed edges, `|F|`.
+    #[inline]
     pub fn len(&self) -> usize {
         self.edges.len()
     }
 
     /// Returns `true` iff no edges have failed.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
     }
 
     /// Returns `true` iff edge `e` has failed.
+    ///
+    /// Membership is the innermost check of every traversal (once per
+    /// scanned adjacency slot), and the paper's regime is `|F| ≤ f` for a
+    /// small constant `f`, so small sets use a branch-predictable linear
+    /// scan; only larger sets pay for binary search.
+    #[inline]
     pub fn contains(&self, e: EdgeId) -> bool {
-        self.edges.binary_search(&e).is_ok()
+        if self.edges.len() <= Self::LINEAR_SCAN_MAX {
+            self.edges.contains(&e)
+        } else {
+            self.edges.binary_search(&e).is_ok()
+        }
     }
 
+    /// Largest set size probed by linear scan in [`FaultSet::contains`].
+    const LINEAR_SCAN_MAX: usize = 8;
+
     /// Iterates over the failed edge ids in increasing order.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.edges.iter().copied()
+    }
+
+    /// Replaces the contents with the single edge `e`, in place.
+    ///
+    /// The allocation-free companion of [`FaultSet::single`] for loops that
+    /// probe one failing edge at a time (the replacement-path baselines):
+    /// one set is allocated once and re-pointed per iteration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::FaultSet;
+    /// let mut f = FaultSet::from_edges([1, 5]);
+    /// f.replace_single(3);
+    /// assert_eq!(f, FaultSet::single(3));
+    /// ```
+    #[inline]
+    pub fn replace_single(&mut self, e: EdgeId) {
+        self.edges.clear();
+        self.edges.push(e);
     }
 
     /// Returns a new fault set with `e` additionally failed.
@@ -176,6 +212,28 @@ mod tests {
         assert_eq!(subs.len(), 7);
         assert!(subs.iter().all(|s| s.is_subset_of(&f) && s != &f));
         assert!(subs.contains(&FaultSet::empty()));
+    }
+
+    #[test]
+    fn contains_agrees_across_scan_strategies() {
+        // Below and above the linear-scan cutoff, membership must agree
+        // with the definitional answer.
+        for size in [0usize, 1, 7, 8, 9, 40] {
+            let f = FaultSet::from_edges((0..size).map(|i| 3 * i));
+            for e in 0..(3 * size + 2) {
+                assert_eq!(f.contains(e), e % 3 == 0 && e < 3 * size, "size {size}, edge {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn replace_single_reuses_in_place() {
+        let mut f = FaultSet::from_edges([4, 9, 11]);
+        f.replace_single(7);
+        assert_eq!(f, FaultSet::single(7));
+        f.replace_single(7);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(7) && !f.contains(4));
     }
 
     #[test]

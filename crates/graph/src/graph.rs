@@ -135,6 +135,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `u >= self.n()`.
+    #[inline]
     pub fn degree(&self, u: Vertex) -> usize {
         self.offsets[u + 1] - self.offsets[u]
     }
@@ -144,6 +145,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `e >= self.m()`.
+    #[inline]
     pub fn endpoints(&self, e: EdgeId) -> (Vertex, Vertex) {
         self.edges[e]
     }
@@ -178,6 +180,7 @@ impl Graph {
     /// assert_eq!(nbrs, vec![1, 2]);
     /// # Ok::<(), rsp_graph::GraphError>(())
     /// ```
+    #[inline]
     pub fn neighbors(&self, u: Vertex) -> impl Iterator<Item = (Vertex, EdgeId)> + '_ {
         let lo = self.offsets[u];
         let hi = self.offsets[u + 1];

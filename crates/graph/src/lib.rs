@@ -16,6 +16,10 @@
 //! * [`dijkstra`] — an *exact-cost* Dijkstra, generic over
 //!   [`rsp_arith::PathCost`], used with the scaled integer weights of the
 //!   tiebreaking schemes;
+//! * [`SearchScratch`] with [`bfs_into`] / [`dijkstra_into`] — the
+//!   reusable search-state engine behind both traversals: generation
+//!   stamping, a dirty list, and an indexed decrease-key heap make
+//!   repeated `(source, fault set)` queries allocation-free;
 //! * [`WeightedSpt`] / [`BfsTree`] — shortest-path trees with path
 //!   extraction;
 //! * [`NextHopTable`] — routing tables in the MPLS sense (consistency of a
@@ -51,6 +55,7 @@ mod graph;
 mod io;
 mod path;
 mod routing;
+mod scratch;
 mod spt;
 mod weights;
 
@@ -63,5 +68,6 @@ pub use graph::{EdgeId, Graph, Vertex};
 pub use io::{from_edge_list_str, to_edge_list_string, ParseGraphError};
 pub use path::Path;
 pub use routing::NextHopTable;
+pub use scratch::{bfs_into, dijkstra_into, DirectedCosts, EdgeCostSource, SearchScratch};
 pub use spt::WeightedSpt;
 pub use weights::{weighted_sssp, EdgeWeights};

@@ -70,8 +70,9 @@ pub fn overlay_paths<S: Rpts>(
 ) -> Preserver {
     let mut edges = HashSet::new();
     let mut trees = 0;
+    let mut scratch = scheme.new_scratch();
     for (s, faults) in queries {
-        let tree = scheme.tree_from(s, &faults);
+        let tree = scheme.tree_from_with(s, &faults, &mut scratch);
         trees += 1;
         edges.extend(tree.tree_edges());
     }
@@ -88,6 +89,18 @@ pub fn overlay_paths<S: Rpts>(
 /// path), so the overlay is a true preserver — `O(n^f)` trees in the
 /// worst case, as the paper notes.
 pub fn ft_bfs_structure<S: Rpts>(scheme: &S, s: Vertex, f: usize) -> Preserver {
+    ft_bfs_structure_with(scheme, s, f, &mut scheme.new_scratch())
+}
+
+/// [`ft_bfs_structure`] reusing scheme search state across its `O(n^f)`
+/// tree queries (and across calls — [`ft_sv_preserver`] passes one scratch
+/// through every source).
+pub fn ft_bfs_structure_with<S: Rpts>(
+    scheme: &S,
+    s: Vertex,
+    f: usize,
+    scratch: &mut rsp_core::RptsScratch,
+) -> Preserver {
     let mut edges = HashSet::new();
     let mut visited: HashSet<FaultSet> = HashSet::new();
     let mut stack = vec![FaultSet::empty()];
@@ -96,7 +109,7 @@ pub fn ft_bfs_structure<S: Rpts>(scheme: &S, s: Vertex, f: usize) -> Preserver {
         if !visited.insert(faults.clone()) {
             continue;
         }
-        let tree = scheme.tree_from(s, &faults);
+        let tree = scheme.tree_from_with(s, &faults, scratch);
         trees += 1;
         let tree_edges: Vec<EdgeId> = tree.tree_edges().collect();
         edges.extend(tree_edges.iter().copied());
@@ -115,8 +128,9 @@ pub fn ft_bfs_structure<S: Rpts>(scheme: &S, s: Vertex, f: usize) -> Preserver {
 pub fn ft_sv_preserver<S: Rpts>(scheme: &S, sources: &[Vertex], f: usize) -> Preserver {
     let mut edges = HashSet::new();
     let mut trees = 0;
+    let mut scratch = scheme.new_scratch();
     for &s in sources {
-        let p = ft_bfs_structure(scheme, s, f);
+        let p = ft_bfs_structure_with(scheme, s, f, &mut scratch);
         trees += p.trees_computed();
         edges.extend(p.edges().iter().copied());
     }

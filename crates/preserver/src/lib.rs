@@ -45,7 +45,8 @@ pub mod lower_bound;
 mod verify;
 
 pub use ft_bfs::{
-    ft_bfs_structure, ft_subset_preserver, ft_sv_preserver, overlay_paths, Preserver,
+    ft_bfs_structure, ft_bfs_structure_with, ft_subset_preserver, ft_sv_preserver, overlay_paths,
+    Preserver,
 };
 pub use verify::{
     translate_faults, verify_preserver, verify_preserver_counting, PairSet, PreserverViolation,

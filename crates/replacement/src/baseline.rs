@@ -1,7 +1,7 @@
 //! Baseline replacement path algorithms, used as ground truth in tests and
 //! as comparison points in the benches (experiment E4).
 
-use rsp_graph::{bfs, FaultSet, Graph, Path, Vertex};
+use rsp_graph::{bfs_into, FaultSet, Graph, Path, SearchScratch, Vertex};
 
 use crate::single_pair::{ReplacementEntry, SinglePairResult};
 use crate::subset_rp::{PairReplacements, SubsetRpResult};
@@ -17,14 +17,40 @@ use crate::subset_rp::{PairReplacements, SubsetRpResult};
 ///
 /// Panics if `path` is not a valid `s ⇝ t` path in `g`.
 pub fn naive_single_pair(g: &Graph, s: Vertex, t: Vertex, path: Path) -> SinglePairResult {
+    let mut scratch = SearchScratch::<u32>::with_capacity(g.n());
+    naive_single_pair_with(g, s, t, path, &mut scratch)
+}
+
+/// [`naive_single_pair`] reusing one BFS scratch across all probed edges
+/// (and across calls).
+///
+/// One fault set is allocated up front and re-pointed per failing edge via
+/// [`FaultSet::replace_single`], so the per-edge loop allocates nothing
+/// beyond the result entries.
+///
+/// # Panics
+///
+/// Panics if `path` is not a valid `s ⇝ t` path in `g`.
+pub fn naive_single_pair_with(
+    g: &Graph,
+    s: Vertex,
+    t: Vertex,
+    path: Path,
+    scratch: &mut SearchScratch<u32>,
+) -> SinglePairResult {
     assert!(path.is_valid_in(g), "baseline needs a valid path");
     assert_eq!(path.source(), s, "path must start at s");
     assert_eq!(path.target(), t, "path must end at t");
+    let mut faults = FaultSet::empty();
     let entries = path
         .edge_ids(g)
         .expect("valid path resolves to edges")
         .into_iter()
-        .map(|edge| ReplacementEntry { edge, dist: bfs(g, s, &FaultSet::single(edge)).dist(t) })
+        .map(|edge| {
+            faults.replace_single(edge);
+            bfs_into(g, s, &faults, scratch);
+            ReplacementEntry { edge, dist: scratch.dist(t) }
+        })
         .collect();
     SinglePairResult::from_parts(s, t, path, entries)
 }
@@ -33,12 +59,14 @@ pub fn naive_single_pair(g: &Graph, s: Vertex, t: Vertex, path: Path) -> SingleP
 /// per failing path edge. `O(σ²·n·(n + m))` in the worst case.
 pub fn naive_subset_rp(g: &Graph, sources: &[Vertex]) -> SubsetRpResult {
     let empty = FaultSet::empty();
+    let mut scratch = SearchScratch::<u32>::with_capacity(g.n());
     let mut pairs = Vec::new();
     for (i, &s) in sources.iter().enumerate() {
-        let tree = bfs(g, s, &empty);
+        bfs_into(g, s, &empty, &mut scratch);
+        let tree = scratch.to_bfs_tree();
         for &t in &sources[i + 1..] {
             let Some(path) = tree.path_to(t) else { continue };
-            let result = naive_single_pair(g, s, t, path);
+            let result = naive_single_pair_with(g, s, t, path, &mut scratch);
             pairs.push(PairReplacements::new(s, t, result));
         }
     }
@@ -50,13 +78,18 @@ pub fn naive_subset_rp(g: &Graph, sources: &[Vertex]) -> SubsetRpResult {
 /// `O(σm) + Õ(σ²n)`. This is the crossover the paper's Theorem 3 improves
 /// on for dense graphs.
 pub fn per_pair_subset_rp(g: &Graph, sources: &[Vertex], seed: u64) -> SubsetRpResult {
+    let mut scratch = crate::single_pair::ReplacementScratch::with_capacity(g.n());
     let mut pairs = Vec::new();
     for (i, &s) in sources.iter().enumerate() {
         for (j, &t) in sources.iter().enumerate().skip(i + 1) {
             let pair_seed = seed ^ ((i as u64) << 32) ^ j as u64;
-            if let Some(result) =
-                crate::single_pair::single_pair_replacement_paths(g, s, t, pair_seed)
-            {
+            if let Some(result) = crate::single_pair::single_pair_replacement_paths_with(
+                g,
+                s,
+                t,
+                pair_seed,
+                &mut scratch,
+            ) {
                 pairs.push(PairReplacements::new(s, t, result));
             }
         }
@@ -67,7 +100,7 @@ pub fn per_pair_subset_rp(g: &Graph, sources: &[Vertex], seed: u64) -> SubsetRpR
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsp_graph::generators;
+    use rsp_graph::{bfs, generators};
 
     #[test]
     fn naive_single_pair_on_cycle() {

@@ -46,9 +46,14 @@ mod subset_rp;
 mod unionfind;
 mod weighted;
 
-pub use baseline::{naive_single_pair, naive_subset_rp, per_pair_subset_rp};
+pub use baseline::{
+    naive_single_pair, naive_single_pair_with, naive_subset_rp, per_pair_subset_rp,
+};
 pub use oracle::SingleFaultOracle;
-pub use single_pair::{single_pair_replacement_paths, ReplacementEntry, SinglePairResult};
+pub use single_pair::{
+    single_pair_replacement_paths, single_pair_replacement_paths_with, ReplacementEntry,
+    ReplacementScratch, SinglePairResult,
+};
 pub use sourcewise::SourcewiseReplacementPaths;
 pub use subset_rp::{subset_replacement_paths, PairReplacements, SubsetRpResult};
 pub use unionfind::NextFree;

@@ -46,7 +46,9 @@ struct PairData {
 
 impl SingleFaultOracle {
     /// Builds the oracle over all vertex pairs. `O(n·m + n²·n)` time via
-    /// Algorithm 1 with `S = V`.
+    /// Algorithm 1 with `S = V`; the underlying `O(n²)` tree queries run
+    /// through Algorithm 1's reused search scratches, so the build
+    /// allocates per *pair result*, not per query.
     pub fn build(g: &Graph, seed: u64) -> Self {
         let sources: Vec<Vertex> = g.vertices().collect();
         let rp = subset_replacement_paths(g, &sources, seed);

@@ -22,10 +22,41 @@
 //!    candidate that covers it. Completeness is the weighted restoration
 //!    lemma (Theorem 11 in the paper).
 
+use rsp_arith::PathCost;
 use rsp_core::RandomGridAtw;
-use rsp_graph::{EdgeId, Graph, Path, Vertex};
+use rsp_graph::{EdgeId, Graph, Path, SearchScratch, Vertex};
 
 use crate::unionfind::NextFree;
+
+/// Reusable search state for repeated single-pair replacement-path
+/// computations (two shortest-path trees per pair).
+///
+/// Algorithm 1 and the all-pairs oracle run the single-pair routine once
+/// per source pair — `O(σ²)` to `O(n²)` times — so the two Dijkstra
+/// scratches are hoisted here and reused across
+/// [`single_pair_replacement_paths_with`] calls.
+#[derive(Debug, Default)]
+pub struct ReplacementScratch {
+    /// Scratch for the tree rooted at the pair's source.
+    from_s: SearchScratch<u128>,
+    /// Scratch for the tree rooted at the pair's target.
+    from_t: SearchScratch<u128>,
+}
+
+impl ReplacementScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for graphs with up to `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        ReplacementScratch {
+            from_s: SearchScratch::with_capacity(n),
+            from_t: SearchScratch::with_capacity(n),
+        }
+    }
+}
 
 /// Replacement distance for one failing edge of the selected path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,14 +144,33 @@ pub fn single_pair_replacement_paths(
     t: Vertex,
     seed: u64,
 ) -> Option<SinglePairResult> {
+    let mut scratch = ReplacementScratch::with_capacity(g.n());
+    single_pair_replacement_paths_with(g, s, t, seed, &mut scratch)
+}
+
+/// [`single_pair_replacement_paths`] reusing a [`ReplacementScratch`]
+/// across calls — the form the `O(σ²)`-pair callers (Algorithm 1, the
+/// all-pairs oracle) loop over.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range.
+pub fn single_pair_replacement_paths_with(
+    g: &Graph,
+    s: Vertex,
+    t: Vertex,
+    seed: u64,
+    scratch: &mut ReplacementScratch,
+) -> Option<SinglePairResult> {
     assert!(s < g.n() && t < g.n(), "pair out of range");
     if s == t {
         return Some(SinglePairResult { s, t, path: Path::trivial(s), entries: Vec::new() });
     }
     let scheme = RandomGridAtw::theorem20(g, seed).into_scheme();
     let empty = rsp_graph::FaultSet::empty();
-    let spt_s = scheme.spt(s, &empty);
-    let spt_t = scheme.spt(t, &empty);
+    scheme.spt_into(s, &empty, &mut scratch.from_s);
+    scheme.spt_into(t, &empty, &mut scratch.from_t);
+    let (spt_s, spt_t) = (&scratch.from_s, &scratch.from_t);
     let path = spt_s.path_to(t)?;
     let verts = path.vertices();
     let ell = path.hops(); // path edges are e_1 … e_ℓ at positions 1..=ℓ
@@ -140,9 +190,9 @@ pub fn single_pair_replacement_paths(
     // Unique shortest paths make sp(s, v_j) the path prefix, so a[v_j] = j
     // and a[u] = a[parent(u)] otherwise. Process in hop order so parents
     // come first.
-    let a = branch_indices(g, &spt_s, &pos, |j| j);
+    let a = branch_indices(g, spt_s, &pos);
     // b[v]: path edges of sp(t, v) are e_{b[v]+1} … e_ℓ; b[v_j] = j.
-    let b = branch_indices(g, &spt_t, &pos, |j| j);
+    let b = branch_indices(g, spt_t, &pos);
 
     // Candidates from non-path edges, both orientations.
     struct Candidate {
@@ -201,11 +251,10 @@ pub fn single_pair_replacement_paths(
 
 /// Computes branch indices against a tree: `Some(j)` when the deepest path
 /// vertex on the tree path to `u` is `v_j`, `None` for unreachable `u`.
-fn branch_indices<C: rsp_arith::PathCost>(
+fn branch_indices<C: PathCost>(
     g: &Graph,
-    spt: &rsp_graph::WeightedSpt<C>,
+    spt: &SearchScratch<C>,
     pos: &[usize],
-    path_index: impl Fn(usize) -> usize,
 ) -> Vec<Option<usize>> {
     let n = g.n();
     let mut order: Vec<Vertex> = (0..n).filter(|&v| spt.hops(v).is_some()).collect();
@@ -213,7 +262,7 @@ fn branch_indices<C: rsp_arith::PathCost>(
     let mut out: Vec<Option<usize>> = vec![None; n];
     for v in order {
         out[v] = if pos[v] != usize::MAX {
-            Some(path_index(pos[v]))
+            Some(pos[v])
         } else {
             let (p, _) = spt.parent(v).expect("non-root reachable vertex has a parent");
             out[p]

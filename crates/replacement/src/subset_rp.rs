@@ -12,9 +12,11 @@
 use std::collections::HashMap;
 
 use rsp_core::RandomGridAtw;
-use rsp_graph::{EdgeId, Graph, Path, Vertex};
+use rsp_graph::{EdgeId, Graph, Path, SearchScratch, Vertex};
 
-use crate::single_pair::{single_pair_replacement_paths, ReplacementEntry, SinglePairResult};
+use crate::single_pair::{
+    single_pair_replacement_paths_with, ReplacementEntry, ReplacementScratch, SinglePairResult,
+};
 
 /// Replacement-path answers for one source pair.
 #[derive(Clone, Debug)]
@@ -127,13 +129,21 @@ pub fn subset_replacement_paths(g: &Graph, sources: &[Vertex], seed: u64) -> Sub
         assert!(s < g.n(), "source {s} out of range");
     }
     // Step 1–3 of Algorithm 1: restorable scheme + one outgoing SPT per
-    // source.
+    // source. One Dijkstra scratch serves every source.
     let scheme = RandomGridAtw::theorem20(g, seed).into_scheme();
     let empty = rsp_graph::FaultSet::empty();
-    let tree_edges: Vec<Vec<EdgeId>> =
-        sources.iter().map(|&s| scheme.spt(s, &empty).tree_edges().collect()).collect();
+    let mut spt_scratch = SearchScratch::<u128>::with_capacity(g.n());
+    let tree_edges: Vec<Vec<EdgeId>> = sources
+        .iter()
+        .map(|&s| {
+            scheme.spt_into(s, &empty, &mut spt_scratch);
+            spt_scratch.tree_edges().collect()
+        })
+        .collect();
 
-    // Step 4–5: per pair, solve on the union of the two trees.
+    // Step 4–5: per pair, solve on the union of the two trees, reusing one
+    // pair of tree scratches across all O(σ²) sub-instances.
+    let mut pair_scratch = ReplacementScratch::with_capacity(g.n());
     let mut pairs = Vec::new();
     for i in 0..sources.len() {
         for j in (i + 1)..sources.len() {
@@ -145,7 +155,9 @@ pub fn subset_replacement_paths(g: &Graph, sources: &[Vertex], seed: u64) -> Sub
                 tree_edges[i].iter().chain(tree_edges[j].iter()).copied().collect();
             let u_graph = g.edge_subgraph(union);
             let pair_seed = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + (i * 101 + j) as u64);
-            let Some(sub) = single_pair_replacement_paths(&u_graph, s, t, pair_seed) else {
+            let Some(sub) =
+                single_pair_replacement_paths_with(&u_graph, s, t, pair_seed, &mut pair_scratch)
+            else {
                 continue; // disconnected pair
             };
             // Translate edge ids from the union graph back to G.

@@ -1,0 +1,278 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build image has no network access to crates.io, so the workspace
+//! vendors a minimal benchmark harness covering exactly the API the
+//! `crates/bench` bench targets call: [`Criterion::bench_function`],
+//! [`Criterion::sample_size`], [`Bencher::iter`], [`Bencher::iter_batched`],
+//! [`BatchSize`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (both the positional and the
+//! `name/config/targets` forms).
+//!
+//! There is no statistical analysis beyond order statistics, no warm-up
+//! tuning, and no HTML report: each benchmark runs `sample_size` timed
+//! iterations after one warm-up iteration and reports **mean, min, and
+//! median** wall-clock per iteration (min and median are robust against
+//! scheduler noise, which a bare mean is not). That is enough to (a) keep
+//! every bench target compiling in CI, (b) give order-of-magnitude timings
+//! locally, and (c) feed the repo's `BENCH_*.json` perf trajectory.
+//! Swapping the real `criterion` back in is a one-line change in the
+//! workspace manifest.
+//!
+//! Two environment variables integrate the stub with CI:
+//!
+//! * `CRITERION_SAMPLE_SIZE` — overrides every benchmark's sample count
+//!   (e.g. `3` for a smoke run);
+//! * `CRITERION_JSON_PATH` — write one machine-readable JSON line per
+//!   benchmark (`{"benchmark":…,"mean_ns":…,"min_ns":…,"median_ns":…,
+//!   "samples":…}`) to the given file, in addition to the human-readable
+//!   stdout report. The file is truncated at the first benchmark of each
+//!   process, so re-running a bench target replaces the report; give each
+//!   bench target its own path if several must coexist.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stub times one routine call per batch regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `f` under the name `id` and print the mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.sample_size, id, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _criterion: self }
+    }
+}
+
+/// A named set of related benchmarks (see [`Criterion::benchmark_group`]).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Time `f` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.sample_size, &format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Set how many timed iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// End the group. (The stub reports per benchmark; nothing to flush.)
+    pub fn finish(self) {}
+}
+
+/// Sample-count override from `CRITERION_SAMPLE_SIZE`, if set and valid.
+fn env_sample_size() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE").ok()?.parse().ok().filter(|&n| n > 0)
+}
+
+/// Per-iteration summary of one benchmark run.
+struct Report {
+    mean_ns: u128,
+    min_ns: u128,
+    median_ns: u128,
+    samples: usize,
+}
+
+fn summarize(samples: &mut [u128]) -> Report {
+    assert!(!samples.is_empty(), "benchmarks collect at least one sample");
+    samples.sort_unstable();
+    let n = samples.len();
+    let mean_ns = samples.iter().sum::<u128>() / n as u128;
+    let median_ns =
+        if n % 2 == 1 { samples[n / 2] } else { (samples[n / 2 - 1] + samples[n / 2]) / 2 };
+    Report { mean_ns, min_ns: samples[0], median_ns, samples: n }
+}
+
+fn run_one<F>(sample_size: usize, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let iters = env_sample_size().unwrap_or(sample_size) as u64;
+    let mut b = Bencher { iters, samples: Vec::with_capacity(iters as usize) };
+    f(&mut b);
+    let r = summarize(&mut b.samples);
+    println!(
+        "bench: {id:<48} mean {:>10} ns  min {:>10} ns  median {:>10} ns  (stub, n={})",
+        r.mean_ns, r.min_ns, r.median_ns, r.samples
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON_PATH") {
+        let line = format!(
+            "{{\"benchmark\":\"{id}\",\"mean_ns\":{},\"min_ns\":{},\"median_ns\":{},\"samples\":{}}}\n",
+            r.mean_ns, r.min_ns, r.median_ns, r.samples
+        );
+        // Truncate once per process so re-running a bench *replaces* the
+        // report instead of appending stale duplicate lines after it.
+        static JSON_TRUNCATE: std::sync::Once = std::sync::Once::new();
+        JSON_TRUNCATE.call_once(|| {
+            if let Err(e) = std::fs::write(&path, "") {
+                eprintln!("criterion stub: cannot create {path}: {e}");
+            }
+        });
+        use std::io::Write;
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path);
+        match file.and_then(|mut f| f.write_all(line.as_bytes())) {
+            Ok(()) => {}
+            Err(e) => eprintln!("criterion stub: cannot append to {path}: {e}"),
+        }
+    }
+}
+
+/// Times a routine for [`Criterion::bench_function`].
+#[derive(Clone, Debug)]
+pub struct Bencher {
+    iters: u64,
+    /// Wall-clock nanoseconds per timed iteration.
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `routine`, called once per iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up, untimed
+        self.samples.clear();
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        self.samples.clear();
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("stub/iter", |b| b.iter(|| 2 + 2));
+        c.bench_function("stub/iter_batched", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group! {
+        name = group_config_form;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    criterion_group!(group_positional_form, target);
+
+    #[test]
+    fn groups_run() {
+        group_config_form();
+        group_positional_form();
+    }
+
+    #[test]
+    fn summarize_order_statistics() {
+        let mut odd = vec![5u128, 1, 9];
+        let r = summarize(&mut odd);
+        assert_eq!((r.mean_ns, r.min_ns, r.median_ns, r.samples), (5, 1, 5, 3));
+        let mut even = vec![8u128, 2, 4, 6];
+        let r = summarize(&mut even);
+        assert_eq!((r.mean_ns, r.min_ns, r.median_ns, r.samples), (5, 2, 5, 4));
+    }
+}
