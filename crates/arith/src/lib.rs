@@ -16,6 +16,15 @@
 //!   (used by the randomized schemes of Theorem 20 / Corollary 22, whose
 //!   scaled weights fit in `u128`) and for [`BigInt`].
 //!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`PathCost`] | exact scaled-integer substitution for the paper's real-valued weights (DESIGN.md substitution 1) |
+//! | `u128` impl | Theorem 20 / Corollary 22 randomized grids (`O(f log n)` bits fit a machine word) |
+//! | [`BigInt`] | Theorem 23 deterministic geometric weights (`O(\|E\|)` bits per weight) |
+//! | [`PathCost::add_into`] | in-place relaxation arithmetic for the query engine (README "Performance") |
+//!
 //! # Examples
 //!
 //! ```

@@ -1,0 +1,145 @@
+//! Batched multi-fault query benchmarks: the PR 2 per-query engine (one
+//! reused `SearchScratch`, one full search per `(source, fault set)`
+//! query) versus the batch engine (`dijkstra_batch` / `bfs_batch`, which
+//! shares the settled search prefix between fault sets agreeing on the
+//! early frontier) versus the worker-pool fan-out (`dijkstra_batch_par`).
+//!
+//! The workload mirrors the restorability/preserver access pattern: every
+//! query batch is `sources × (∅ + single faults spread across the edge
+//! set)` on a tie-rich grid under Theorem 20 perturbed `u128` costs, plus
+//! the unweighted BFS layer. `per_query` is the `indexed_reuse` engine of
+//! `BENCH_2.json`, so the two trajectories are directly comparable.
+//!
+//! Append results to the repo's `BENCH_<n>.json` trajectory with:
+//!
+//! ```sh
+//! CRITERION_JSON_PATH="$PWD/BENCH_3.json" \
+//!   cargo bench -p rsp_bench --bench query_batch
+//! ```
+
+use std::ops::ControlFlow;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_core::RandomGridAtw;
+use rsp_graph::{
+    bfs_batch, bfs_batch_par, bfs_into, dijkstra_batch, dijkstra_batch_par, generators,
+    BatchScratch, FaultSet, Graph, SearchScratch, Vertex,
+};
+
+/// `∅` plus `queries` single faults spread across the edge set: most are
+/// far from any given source, which is exactly the prefix-sharing regime.
+fn fault_batch(g: &Graph, queries: usize) -> Vec<FaultSet> {
+    std::iter::once(FaultSet::empty())
+        .chain((0..queries).map(|i| FaultSet::single(i * g.m() / queries)))
+        .collect()
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    let sources: Vec<Vertex> = (0..8).map(|i| i * g.n() / 8).collect();
+    let faults = fault_batch(&g, 32);
+
+    let mut group = c.benchmark_group("query_batch/u128_grid16x16_8x33");
+    let mut single = SearchScratch::<u128>::with_capacity(g.n());
+    group.bench_function("per_query", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for &s in &sources {
+                for f in &faults {
+                    scheme.spt_into(s, f, &mut single);
+                    reached += single.reachable_count();
+                }
+            }
+            reached
+        })
+    });
+    let mut batch = BatchScratch::<u128>::with_capacity(g.n());
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            dijkstra_batch(
+                &g,
+                &sources,
+                &faults,
+                scheme.directed_costs(),
+                &mut batch,
+                |_, _, r| {
+                    reached += r.reachable_count();
+                    ControlFlow::Continue(())
+                },
+            );
+            reached
+        })
+    });
+    for workers in [2, 4] {
+        group.bench_function(format!("batched_par{workers}"), |b| {
+            b.iter(|| {
+                dijkstra_batch_par(
+                    &g,
+                    &sources,
+                    &faults,
+                    || scheme.directed_costs(),
+                    workers,
+                    |_, _, r| r.reachable_count(),
+                )
+                .into_iter()
+                .flatten()
+                .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let sources: Vec<Vertex> = (0..8).map(|i| i * g.n() / 8).collect();
+    let faults = fault_batch(&g, 32);
+
+    let mut group = c.benchmark_group("query_batch/bfs_grid16x16_8x33");
+    let mut single = SearchScratch::<u32>::with_capacity(g.n());
+    group.bench_function("per_query", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for &s in &sources {
+                for f in &faults {
+                    bfs_into(&g, s, f, &mut single);
+                    reached += single.reachable_count();
+                }
+            }
+            reached
+        })
+    });
+    let mut batch = BatchScratch::<u32>::with_capacity(g.n());
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            bfs_batch(&g, &sources, &faults, &mut batch, |_, _, r| {
+                reached += r.reachable_count();
+                ControlFlow::Continue(())
+            });
+            reached
+        })
+    });
+    group.bench_function("batched_par4", |b| {
+        b.iter(|| {
+            bfs_batch_par::<u32, _, _>(&g, &sources, &faults, 4, |_, _, r| r.reachable_count())
+                .into_iter()
+                .flatten()
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_weighted, bench_bfs
+}
+criterion_main!(benches);

@@ -29,6 +29,18 @@
 //!   reproduction — see DESIGN.md substitution 5) uses as black boxes; the
 //!   corresponding edge sets are built centrally by `rsp-preserver`.
 //!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`sim`] | the CONGEST model itself: rounds, `O(log n)`-bit messages, congestion counting |
+//! | [`distributed_spt`] | Lemma 34: SPT under `ω` in `O(D)` rounds, `O(1)` messages/edge |
+//! | [`scheduled_multi_spt`] | Theorem 35: random-delay composition of `σ` SPTs, `Õ(D + σ)` rounds |
+//! | [`distributed_1ft_subset_preserver`] | Lemma 36 / Theorem 8(1): distributed 1-FT `S × S` preserver |
+//! | [`distributed_ft_spanner`] | Corollary 9(1): first distributed 1-FT +4 spanner |
+//! | [`theorem8_round_bound`] | Theorem 8(2–3) round formulas (black-box edge sets, DESIGN.md substitution 5) |
+//! | [`broadcast`], [`convergecast_sum`] | the standard primitives the constructions compose |
+//!
 //! # Examples
 //!
 //! ```

@@ -40,6 +40,22 @@
 //! 1-restorable, already on the 4-cycle) is reproduced in the [`c4`] module
 //! by exhaustive enumeration of all symmetric schemes.
 //!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`Rpts`] | Definition 15: replacement-path tiebreaking scheme `π(s, t \| F)` |
+//! | [`Rpts::for_each_tree`] | batched query plane for the Section 3–4 sweeps (prefix sharing via `rsp_graph::dijkstra_batch`) |
+//! | [`ExactScheme`] | Theorem 19: the weight-induced consistent/stable/restorable scheme |
+//! | [`RandomGridAtw::theorem20`] | Theorem 20 (real sampling → exact fine grid) |
+//! | [`RandomGridAtw::corollary22`] | Corollary 22, isolation-lemma grid, `O(f log n)` bits |
+//! | [`GeometricAtw`] | Theorem 23 deterministic weights, `O(\|E\|)` bits |
+//! | [`restore_by_concatenation`], [`restore_single_fault`] | Theorem 2 / Definition 17 restoration; Section 1's MPLS splice |
+//! | [`restoration_stats`], [`restoration_stats_par`] | experiment E1: Figure 1 quantified |
+//! | [`verify`] | Definitions 13, 14, 16, 17, 18 checked instance-by-instance |
+//! | [`c4`] | Theorem 37 impossibility on the 4-cycle |
+//! | [`BfsScheme`] | the non-restorable baseline of Figure 1 |
+//!
 //! # Examples
 //!
 //! ```
@@ -76,7 +92,8 @@ pub use geometric_atw::GeometricAtw;
 pub use naive::{BfsOrder, BfsScheme};
 pub use random_atw::RandomGridAtw;
 pub use restore::{
-    restoration_stats, restore_by_concatenation, restore_by_concatenation_with,
-    restore_single_fault, restore_single_fault_with, RestorationStats,
+    restoration_stats, restoration_stats_par, restore_by_concatenation,
+    restore_by_concatenation_with, restore_single_fault, restore_single_fault_with,
+    RestorationStats,
 };
 pub use scheme::{ExactScheme, Rpts, RptsScratch};

@@ -30,6 +30,41 @@ use rsp_graph::Graph;
 
 use crate::scheme::ExactScheme;
 
+/// Grid half-width of the Theorem 20 stand-in (see
+/// [`RandomGridAtw::theorem20`]).
+const THEOREM20_HALF_WIDTH: u128 = 1 << 60;
+
+/// The scaled unit weight `2nK`, with the overflow guard every
+/// construction path shares.
+///
+/// # Panics
+///
+/// Panics if path costs could overflow `u128`.
+fn scaled_unit(g: &Graph, half_width: u128) -> u128 {
+    let n = g.n().max(1) as u128;
+    let unit = 2 * n * half_width;
+    let max_path_cost = n * (unit + half_width);
+    assert!(max_path_cost < u128::MAX / 2, "graph too large for u128 scaled costs");
+    unit
+}
+
+/// The grid sampler: one numerator in `[−K, K]` per edge. The single
+/// definition of the sampling order, so every construction path derives
+/// the identical weight function from the same seed.
+fn sample_numerators(m: usize, half_width: u128, seed: u64) -> impl Iterator<Item = i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = -(half_width as i64);
+    let hi = half_width as i64;
+    (0..m).map(move |_| rng.random_range(lo..=hi))
+}
+
+/// Exact per-direction costs `(unit + i, unit − i)` of one sampled
+/// numerator — the scaled form of `1 ± r(u, v)`.
+#[inline]
+fn directed_costs_of(unit: u128, i: i64) -> (u128, u128) {
+    ((unit as i128 + i as i128) as u128, (unit as i128 - i as i128) as u128)
+}
+
 /// A randomized antisymmetric `f`-fault tiebreaking weight function on a
 /// symmetric integer grid.
 ///
@@ -72,14 +107,8 @@ impl RandomGridAtw {
     pub fn with_half_width(g: &Graph, half_width: u128, seed: u64) -> Self {
         assert!(half_width > 0, "grid half-width must be positive");
         assert!(half_width <= 1 << 62, "grid half-width must fit the i64 sampler");
-        let n = g.n().max(1) as u128;
-        let unit = 2 * n * half_width;
-        let max_path_cost = n * (unit + half_width);
-        assert!(max_path_cost < u128::MAX / 2, "graph too large for u128 scaled costs");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let lo = -(half_width as i64);
-        let hi = half_width as i64;
-        let r = (0..g.m()).map(|_| rng.random_range(lo..=hi)).collect();
+        let unit = scaled_unit(g, half_width);
+        let r = sample_numerators(g.m(), half_width, seed).collect();
         RandomGridAtw { graph: g.clone(), r, half_width, unit }
     }
 
@@ -89,7 +118,7 @@ impl RandomGridAtw {
     /// `G*` only if their perturbation sums coincide — probability
     /// `≤ (n−1)/2^61` per comparison, negligible at any feasible scale.
     pub fn theorem20(g: &Graph, seed: u64) -> Self {
-        Self::with_half_width(g, 1 << 60, seed)
+        Self::with_half_width(g, THEOREM20_HALF_WIDTH, seed)
     }
 
     /// The Corollary 22 construction: grid half-width `W = n^{f+4+c}`,
@@ -145,9 +174,63 @@ impl RandomGridAtw {
     pub fn into_scheme(self) -> ExactScheme<u128> {
         let bits = self.bits_per_weight();
         let unit = self.unit;
-        let fwd: Vec<u128> = self.r.iter().map(|&i| (unit as i128 + i as i128) as u128).collect();
-        let bwd: Vec<u128> = self.r.iter().map(|&i| (unit as i128 - i as i128) as u128).collect();
+        let mut fwd: Vec<u128> = Vec::with_capacity(self.r.len());
+        let mut bwd: Vec<u128> = Vec::with_capacity(self.r.len());
+        for &i in &self.r {
+            let (f, b) = directed_costs_of(unit, i);
+            fwd.push(f);
+            bwd.push(b);
+        }
         ExactScheme::from_costs(self.graph, fwd, bwd, unit, bits)
+    }
+
+    /// Samples the [`RandomGridAtw::theorem20`] grid for `g` and writes
+    /// the induced exact per-direction costs directly into `fwd` / `bwd`
+    /// (cleared and refilled), returning the scaled unit weight.
+    ///
+    /// The allocation-free companion of
+    /// `RandomGridAtw::theorem20(g, seed).into_scheme()`: it produces
+    /// byte-identical cost vectors but skips the graph clone, the numerator
+    /// vector, and the two fresh cost allocations — callers that rebuild a
+    /// scheme per sub-instance (Algorithm 1's inner loop rebuilds one per
+    /// source pair) hold the two buffers in their scratch and feed them
+    /// straight to [`rsp_graph::DirectedCosts`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::{dijkstra_into, generators, DirectedCosts, FaultSet, SearchScratch};
+    ///
+    /// let g = generators::grid(3, 3);
+    /// let (mut fwd, mut bwd) = (Vec::new(), Vec::new());
+    /// let mut scratch = SearchScratch::<u128>::with_capacity(g.n());
+    /// for seed in 0..4 {
+    ///     // One perturbed SPT per seed; the buffers are reused throughout.
+    ///     RandomGridAtw::theorem20_costs_into(&g, seed, &mut fwd, &mut bwd);
+    ///     dijkstra_into(&g, 0, &FaultSet::empty(), DirectedCosts::new(&fwd, &bwd), &mut scratch);
+    ///     assert!(!scratch.ties_detected(), "Theorem 20 weights are tie-free");
+    /// }
+    /// ```
+    pub fn theorem20_costs_into(
+        g: &Graph,
+        seed: u64,
+        fwd: &mut Vec<u128>,
+        bwd: &mut Vec<u128>,
+    ) -> u128 {
+        let unit = scaled_unit(g, THEOREM20_HALF_WIDTH);
+        fwd.clear();
+        bwd.clear();
+        fwd.reserve(g.m());
+        bwd.reserve(g.m());
+        // Same sampler, same order, same cost mapping as
+        // `theorem20(g, seed).into_scheme()` — shared code, not a copy.
+        for i in sample_numerators(g.m(), THEOREM20_HALF_WIDTH, seed) {
+            let (f, b) = directed_costs_of(unit, i);
+            fwd.push(f);
+            bwd.push(b);
+        }
+        unit
     }
 }
 
@@ -219,6 +302,22 @@ mod tests {
         assert_eq!(a.r, b.r);
         let c = RandomGridAtw::theorem20(&g, 10);
         assert_ne!(a.r, c.r);
+    }
+
+    #[test]
+    fn theorem20_costs_into_matches_into_scheme() {
+        let g = generators::grid(4, 3);
+        for seed in [0, 7, 99] {
+            let scheme = RandomGridAtw::theorem20(&g, seed).into_scheme();
+            let (mut fwd, mut bwd) = (vec![1u128; 3], vec![2u128; 3]); // stale contents
+            let unit = RandomGridAtw::theorem20_costs_into(&g, seed, &mut fwd, &mut bwd);
+            assert_eq!(unit, *scheme.unit());
+            assert_eq!(fwd.len(), g.m());
+            for (e, u, v) in g.edges() {
+                assert_eq!(fwd[e], scheme.edge_cost(e, u, v), "seed {seed} edge {e} fwd");
+                assert_eq!(bwd[e], scheme.edge_cost(e, v, u), "seed {seed} edge {e} bwd");
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! can fail — that gap is the paper's subject, quantified by
 //! [`restoration_stats`] (experiment E1).
 
-use rsp_graph::{bfs_into, connected_pair, FaultSet, Path, Vertex};
+use std::ops::ControlFlow;
+
+use rsp_graph::{bfs_into, connected_pair, parallel_indexed, BfsTree, FaultSet, Path, Vertex};
 
 use crate::scheme::{Rpts, RptsScratch};
 
@@ -79,9 +81,20 @@ pub fn restore_by_concatenation_with<S: Rpts>(
     let mut subsets: Vec<FaultSet> = faults.proper_subsets().collect();
     subsets.sort_by_key(|f| f.len());
 
-    for sub in &subsets {
-        let tree_s = scheme.tree_from_with(s, sub, scratch);
-        let tree_t = scheme.tree_from_with(t, sub, scratch);
+    // One batched sweep: all subset trees from `s` arrive first (sharing
+    // their settled search prefix — see `Rpts::for_each_tree`), then the
+    // trees from `t`. As each `t` tree lands, its subset is complete, so
+    // the midpoint scan runs immediately and a success breaks the sweep
+    // before the remaining `t` trees are computed.
+    let mut trees_s: Vec<Option<BfsTree>> = (0..subsets.len()).map(|_| None).collect();
+    let mut restored: Option<Path> = None;
+    scheme.for_each_tree(&[s, t], &subsets, scratch, &mut |si, fi, tree| {
+        if si == 0 {
+            trees_s[fi] = Some(tree);
+            return ControlFlow::Continue(());
+        }
+        let tree_s = trees_s[fi].as_ref().expect("s trees precede t trees");
+        let tree_t = &tree;
         for x in g.vertices() {
             let (Some(ps), Some(pt)) = (tree_s.path_to(x), tree_t.path_to(x)) else {
                 continue;
@@ -94,10 +107,12 @@ pub fn restore_by_concatenation_with<S: Rpts>(
             }
             let joined = ps.join_at(&pt).expect("both paths end at x");
             debug_assert!(joined.is_valid_in(g));
-            return Some(joined);
+            restored = Some(joined);
+            return ControlFlow::Break(());
         }
-    }
-    None
+        ControlFlow::Continue(())
+    });
+    restored
 }
 
 /// The single-fault fast path: restoration using only the *non-faulty*
@@ -133,9 +148,13 @@ pub fn restore_single_fault_with<S: Rpts>(
         bfs_into(g, s, &faults, truth);
         truth.dist(t)?
     };
-    let empty = FaultSet::empty();
-    let tree_s = scheme.tree_from_with(s, &empty, scratch);
-    let tree_t = scheme.tree_from_with(t, &empty, scratch);
+    let empty = [FaultSet::empty()];
+    let mut pair: [Option<BfsTree>; 2] = [None, None];
+    scheme.for_each_tree(&[s, t], &empty, scratch, &mut |si, _, tree| {
+        pair[si] = Some(tree);
+        ControlFlow::Continue(())
+    });
+    let [Some(tree_s), Some(tree_t)] = pair else { unreachable!("both roots visited") };
     for x in g.vertices() {
         let (Some(ps), Some(pt)) = (tree_s.path_to(x), tree_t.path_to(x)) else {
             continue;
@@ -208,6 +227,55 @@ pub fn restoration_stats<S: Rpts>(scheme: &S) -> RestorationStats {
         }
     }
     stats
+}
+
+/// [`restoration_stats`] with single-edge faults fanned out over a worker
+/// pool (one scheme scratch per worker).
+///
+/// Tallies are merged in edge order, so the aggregate (and the ≤ 32
+/// recorded failures) is identical to the sequential sweep for every
+/// worker count.
+pub fn restoration_stats_par<S: Rpts + Sync>(scheme: &S, workers: usize) -> RestorationStats {
+    let g = scheme.graph();
+    let per_edge = parallel_indexed(
+        g.m(),
+        workers,
+        |_| scheme.new_scratch(),
+        |scratch, e| {
+            let faults = FaultSet::single(e);
+            let mut stats = RestorationStats::default();
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    if s == t || !connected_pair(g, s, t, &faults) {
+                        continue;
+                    }
+                    stats.attempted += 1;
+                    match restore_by_concatenation_with(scheme, s, t, &faults, scratch) {
+                        Some(_) => stats.restored += 1,
+                        None => {
+                            stats.failed += 1;
+                            if stats.failures.len() < 32 {
+                                stats.failures.push((s, t, faults.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            stats
+        },
+    );
+    let mut total = RestorationStats::default();
+    for stats in per_edge {
+        total.attempted += stats.attempted;
+        total.restored += stats.restored;
+        total.failed += stats.failed;
+        for failure in stats.failures {
+            if total.failures.len() < 32 {
+                total.failures.push(failure);
+            }
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -293,6 +361,25 @@ mod tests {
         assert!(stats.attempted > 0);
         assert_eq!(stats.failed, 0, "ATW schemes are provably 1-restorable");
         assert_eq!(stats.failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn parallel_stats_match_sequential() {
+        for (g, seed) in [(generators::cycle(5), 3u64), (generators::grid(3, 3), 4)] {
+            let scheme = RandomGridAtw::theorem20(&g, seed).into_scheme();
+            let seq = restoration_stats(&scheme);
+            for workers in [1, 2, 8] {
+                assert_eq!(restoration_stats_par(&scheme, workers), seq, "workers={workers}");
+            }
+        }
+        // Failure recording must also be deterministic across worker counts.
+        let g = generators::grid(3, 3);
+        let naive = BfsScheme::new(&g, BfsOrder::Ascending);
+        let seq = restoration_stats(&naive);
+        assert!(seq.failed > 0);
+        for workers in [2, 8] {
+            assert_eq!(restoration_stats_par(&naive, workers), seq, "workers={workers}");
+        }
     }
 
     #[test]

@@ -3,11 +3,21 @@
 
 use std::any::Any;
 use std::fmt;
+use std::ops::ControlFlow;
 
 use rsp_arith::PathCost;
 use rsp_graph::{
-    BfsTree, DirectedCosts, EdgeId, FaultSet, Graph, Path, SearchScratch, Vertex, WeightedSpt,
+    BatchScratch, BfsTree, DirectedCosts, EdgeId, FaultSet, Graph, Path, SearchScratch, Vertex,
+    WeightedSpt,
 };
+
+/// The scratch payload of the exact (weight-induced) schemes: one
+/// single-query scratch for the `_with` methods plus one batch scratch for
+/// [`Rpts::for_each_tree`].
+struct ExactPayload<C> {
+    single: SearchScratch<C>,
+    batch: BatchScratch<C>,
+}
 
 /// Opaque reusable search state for repeated scheme queries.
 ///
@@ -136,6 +146,37 @@ pub trait Rpts {
     ) -> Option<Path> {
         self.tree_from_with(s, faults, scratch).path_to(t)
     }
+
+    /// Computes the selected tree for every query in `sources ×
+    /// fault_sets`, invoking `visitor` once per query in source-major
+    /// order (`(0, 0), (0, 1), …, (1, 0), …`). A visitor returning
+    /// [`ControlFlow::Break`] stops the sweep immediately; remaining
+    /// queries are never computed (how the verifiers and restoration
+    /// searches exit early).
+    ///
+    /// The batched entry point behind the verifiers, restoration sweeps,
+    /// and preserver builds. The default loops over
+    /// [`Rpts::tree_from_with`]; schemes backed by the batch query engine
+    /// override it to share the settled search prefix between fault sets
+    /// that agree on the early frontier (see [`rsp_graph::dijkstra_batch`]).
+    /// Either way the trees visited are identical to per-query
+    /// [`Rpts::tree_from`] calls.
+    fn for_each_tree(
+        &self,
+        sources: &[Vertex],
+        fault_sets: &[FaultSet],
+        scratch: &mut RptsScratch,
+        visitor: &mut dyn FnMut(usize, usize, BfsTree) -> ControlFlow<()>,
+    ) {
+        for (si, &s) in sources.iter().enumerate() {
+            for (fi, faults) in fault_sets.iter().enumerate() {
+                let tree = self.tree_from_with(s, faults, scratch);
+                if visitor(si, fi, tree).is_break() {
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// The scheme induced by exact per-direction edge costs in `G*` — the
@@ -251,13 +292,37 @@ impl<C: PathCost + 'static> ExactScheme<C> {
     /// }
     /// ```
     pub fn spt_into(&self, s: Vertex, faults: &FaultSet, scratch: &mut SearchScratch<C>) {
-        rsp_graph::dijkstra_into(
-            &self.graph,
-            s,
-            faults,
-            DirectedCosts::new(&self.fwd, &self.bwd),
-            scratch,
-        );
+        rsp_graph::dijkstra_into(&self.graph, s, faults, self.directed_costs(), scratch);
+    }
+
+    /// The scheme's stored per-direction costs as a borrowing
+    /// [`rsp_graph::EdgeCostSource`], ready to hand to the raw query
+    /// engine ([`rsp_graph::dijkstra_into`], [`rsp_graph::dijkstra_batch`],
+    /// [`rsp_graph::dijkstra_batch_par`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::{RandomGridAtw, Rpts};
+    /// use rsp_graph::{dijkstra_batch_par, generators, FaultSet};
+    ///
+    /// let g = generators::grid(3, 3);
+    /// let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
+    /// let sources: Vec<usize> = g.vertices().collect();
+    /// let faults: Vec<FaultSet> = (0..g.m()).map(FaultSet::single).collect();
+    /// // One selected tree per (source, fault) query, four workers.
+    /// let hops = dijkstra_batch_par(
+    ///     scheme.graph(),
+    ///     &sources,
+    ///     &faults,
+    ///     || scheme.directed_costs(),
+    ///     4,
+    ///     |_s, _f, result| result.hops(8),
+    /// );
+    /// assert!(hops.iter().flatten().all(|h| h.is_some()), "grid survives one fault");
+    /// ```
+    pub fn directed_costs(&self) -> DirectedCosts<'_, C> {
+        DirectedCosts::new(&self.fwd, &self.bwd)
     }
 
     /// The exact cost of an explicit path under this scheme's weights.
@@ -294,14 +359,17 @@ impl<C: PathCost + 'static> Rpts for ExactScheme<C> {
     }
 
     fn new_scratch(&self) -> RptsScratch {
-        RptsScratch::from_value(SearchScratch::<C>::with_capacity(self.graph.n()))
+        RptsScratch::from_value(ExactPayload {
+            single: SearchScratch::<C>::with_capacity(self.graph.n()),
+            batch: BatchScratch::<C>::with_capacity(self.graph.n()),
+        })
     }
 
     fn tree_from_with(&self, s: Vertex, faults: &FaultSet, scratch: &mut RptsScratch) -> BfsTree {
-        match scratch.downcast_mut::<SearchScratch<C>>() {
-            Some(sc) => {
-                self.spt_into(s, faults, sc);
-                sc.to_bfs_tree()
+        match scratch.downcast_mut::<ExactPayload<C>>() {
+            Some(p) => {
+                self.spt_into(s, faults, &mut p.single);
+                p.single.to_bfs_tree()
             }
             None => self.tree_from(s, faults),
         }
@@ -314,10 +382,10 @@ impl<C: PathCost + 'static> Rpts for ExactScheme<C> {
         faults: &FaultSet,
         scratch: &mut RptsScratch,
     ) -> Option<u32> {
-        match scratch.downcast_mut::<SearchScratch<C>>() {
-            Some(sc) => {
-                self.spt_into(s, faults, sc);
-                sc.hops(t)
+        match scratch.downcast_mut::<ExactPayload<C>>() {
+            Some(p) => {
+                self.spt_into(s, faults, &mut p.single);
+                p.single.hops(t)
             }
             None => self.dist(s, t, faults),
         }
@@ -330,12 +398,41 @@ impl<C: PathCost + 'static> Rpts for ExactScheme<C> {
         faults: &FaultSet,
         scratch: &mut RptsScratch,
     ) -> Option<Path> {
-        match scratch.downcast_mut::<SearchScratch<C>>() {
-            Some(sc) => {
-                self.spt_into(s, faults, sc);
-                sc.path_to(t)
+        match scratch.downcast_mut::<ExactPayload<C>>() {
+            Some(p) => {
+                self.spt_into(s, faults, &mut p.single);
+                p.single.path_to(t)
             }
             None => self.path(s, t, faults),
+        }
+    }
+
+    fn for_each_tree(
+        &self,
+        sources: &[Vertex],
+        fault_sets: &[FaultSet],
+        scratch: &mut RptsScratch,
+        visitor: &mut dyn FnMut(usize, usize, BfsTree) -> ControlFlow<()>,
+    ) {
+        match scratch.downcast_mut::<ExactPayload<C>>() {
+            Some(p) => rsp_graph::dijkstra_batch(
+                &self.graph,
+                sources,
+                fault_sets,
+                DirectedCosts::new(&self.fwd, &self.bwd),
+                &mut p.batch,
+                |si, fi, result| visitor(si, fi, result.to_bfs_tree()),
+            ),
+            None => {
+                for (si, &s) in sources.iter().enumerate() {
+                    for (fi, faults) in fault_sets.iter().enumerate() {
+                        let tree = self.tree_from_with(s, faults, scratch);
+                        if visitor(si, fi, tree).is_break() {
+                            return;
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -433,6 +530,39 @@ mod tests {
             }
             assert_eq!(scratch.ties_detected(), fresh.ties_detected());
         }
+    }
+
+    #[test]
+    fn for_each_tree_matches_per_query_trees() {
+        let s = tiny_scheme();
+        let g = s.graph().clone();
+        let sources: Vec<Vertex> = g.vertices().collect();
+        let fault_sets: Vec<FaultSet> = std::iter::once(FaultSet::empty())
+            .chain((0..g.m()).map(FaultSet::single))
+            .chain([FaultSet::from_edges([0, 2])])
+            .collect();
+        let mut scratch = s.new_scratch();
+        let mut visited = 0usize;
+        s.for_each_tree(&sources, &fault_sets, &mut scratch, &mut |si, fi, tree| {
+            visited += 1;
+            let plain = s.tree_from(sources[si], &fault_sets[fi]);
+            for t in g.vertices() {
+                assert_eq!(tree.dist(t), plain.dist(t), "s{si} f{fi} dist({t})");
+                assert_eq!(tree.parent(t), plain.parent(t), "s{si} f{fi} parent({t})");
+            }
+            ControlFlow::Continue(())
+        });
+        assert_eq!(visited, sources.len() * fault_sets.len());
+
+        // The unsupported-scratch fallback visits the same trees.
+        let mut none = RptsScratch::unsupported();
+        let mut fallback = 0usize;
+        s.for_each_tree(&sources, &fault_sets, &mut none, &mut |si, fi, tree| {
+            fallback += 1;
+            assert_eq!(tree.dist(sources[si]), Some(0), "f{fi} roots at its source");
+            ControlFlow::Continue(())
+        });
+        assert_eq!(fallback, visited);
     }
 
     #[test]

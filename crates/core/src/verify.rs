@@ -9,10 +9,13 @@
 
 use std::error::Error;
 use std::fmt;
+use std::ops::ControlFlow;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rsp_graph::{bfs_into, connected_pair, FaultSet, Path, Vertex};
+use rsp_graph::{
+    bfs_into, connected_pair, parallel_indexed, BfsTree, FaultSet, Path, SearchScratch, Vertex,
+};
 
 use crate::restore::restore_by_concatenation_with;
 use crate::scheme::Rpts;
@@ -100,8 +103,7 @@ impl Error for Violation {}
 pub fn count_asymmetric_pairs<S: Rpts>(scheme: &S, faults: &FaultSet) -> usize {
     let g = scheme.graph();
     let mut scratch = scheme.new_scratch();
-    let trees: Vec<_> =
-        g.vertices().map(|s| scheme.tree_from_with(s, faults, &mut scratch)).collect();
+    let trees = all_source_trees(scheme, faults, &mut scratch);
     let mut count = 0;
     for s in g.vertices() {
         for t in (s + 1)..g.n() {
@@ -115,28 +117,90 @@ pub fn count_asymmetric_pairs<S: Rpts>(scheme: &S, faults: &FaultSet) -> usize {
     count
 }
 
+/// All selected trees `π(s, · | F)` for `s` over the whole vertex set,
+/// computed through the batched [`Rpts::for_each_tree`] engine (one shared
+/// prefix per source when the scheme supports it).
+fn all_source_trees<S: Rpts>(
+    scheme: &S,
+    faults: &FaultSet,
+    scratch: &mut crate::RptsScratch,
+) -> Vec<BfsTree> {
+    let g = scheme.graph();
+    let sources: Vec<Vertex> = g.vertices().collect();
+    let mut trees: Vec<Option<BfsTree>> = (0..g.n()).map(|_| None).collect();
+    scheme.for_each_tree(&sources, std::slice::from_ref(faults), scratch, &mut |si, _, tree| {
+        trees[si] = Some(tree);
+        ControlFlow::Continue(())
+    });
+    trees.into_iter().map(|t| t.expect("one tree per source")).collect()
+}
+
 /// Checks that every selected path is a shortest path of `G \ F`, for each
 /// given fault set.
 ///
+/// Queries go through the batched [`Rpts::for_each_tree`] engine; trees
+/// for one source are computed for all fault sets together, sharing the
+/// settled search prefix where the fault sets allow.
+///
 /// # Errors
 ///
-/// Returns the first [`Violation::NotShortest`] found.
+/// Returns a [`Violation::NotShortest`] if any selected path is too long
+/// (which one is unspecified when several exist).
 pub fn verify_shortest<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(), Violation> {
     let g = scheme.graph();
     let mut scratch = scheme.new_scratch();
-    for faults in fault_sets {
-        for s in g.vertices() {
-            let tree = scheme.tree_from_with(s, faults, &mut scratch);
-            let truth = scratch.bfs_scratch();
-            bfs_into(g, s, faults, truth);
-            for t in g.vertices() {
-                if tree.dist(t) != truth.dist(t) {
-                    return Err(Violation::NotShortest { s, t, faults: faults.clone() });
-                }
+    let sources: Vec<Vertex> = g.vertices().collect();
+    let mut truth = SearchScratch::<u32>::with_capacity(g.n());
+    let mut violation: Option<Violation> = None;
+    scheme.for_each_tree(&sources, fault_sets, &mut scratch, &mut |si, fi, tree| {
+        let s = sources[si];
+        let faults = &fault_sets[fi];
+        bfs_into(g, s, faults, &mut truth);
+        for t in g.vertices() {
+            if tree.dist(t) != truth.dist(t) {
+                violation = Some(Violation::NotShortest { s, t, faults: faults.clone() });
+                return ControlFlow::Break(());
             }
         }
-    }
-    Ok(())
+        ControlFlow::Continue(())
+    });
+    violation.map_or(Ok(()), Err)
+}
+
+/// [`verify_shortest`] with fault sets fanned out over a worker pool (one
+/// scheme scratch per worker).
+///
+/// Checks the same instances; like the sequential form, *which* violation
+/// is reported when several exist is unspecified.
+///
+/// # Errors
+///
+/// Returns a [`Violation::NotShortest`] if any selected path is too long.
+pub fn verify_shortest_par<S: Rpts + Sync>(
+    scheme: &S,
+    fault_sets: &[FaultSet],
+    workers: usize,
+) -> Result<(), Violation> {
+    let g = scheme.graph();
+    let first = parallel_indexed(
+        fault_sets.len(),
+        workers,
+        |_| (scheme.new_scratch(), SearchScratch::<u32>::with_capacity(g.n())),
+        |(scratch, truth), i| {
+            let faults = &fault_sets[i];
+            for s in g.vertices() {
+                let tree = scheme.tree_from_with(s, faults, scratch);
+                bfs_into(g, s, faults, truth);
+                for t in g.vertices() {
+                    if tree.dist(t) != truth.dist(t) {
+                        return Some(Violation::NotShortest { s, t, faults: faults.clone() });
+                    }
+                }
+            }
+            None
+        },
+    );
+    first.into_iter().flatten().next().map_or(Ok(()), Err)
 }
 
 /// Exhaustively checks consistency (Definition 14) under one fault set:
@@ -152,8 +216,7 @@ pub fn verify_shortest<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(
 pub fn verify_consistency<S: Rpts>(scheme: &S, faults: &FaultSet) -> Result<(), Violation> {
     let g = scheme.graph();
     let mut scratch = scheme.new_scratch();
-    let trees: Vec<_> =
-        g.vertices().map(|s| scheme.tree_from_with(s, faults, &mut scratch)).collect();
+    let trees = all_source_trees(scheme, faults, &mut scratch);
     for s in g.vertices() {
         for t in g.vertices() {
             let Some(p) = trees[s].path_to(t) else { continue };
@@ -232,28 +295,44 @@ pub fn verify_consistency_sampled<S: Rpts>(
 /// π(s, t | F)`, the selection must not change when `e` fails.
 ///
 /// Exhaustive over pairs; the extra edge ranges over all non-path edges.
+/// Per source, the `F ∪ {e}` trees for all extra edges are computed as one
+/// [`Rpts::for_each_tree`] batch — each extra-edge tree is computed once
+/// and checked against every target, rather than once per `(t, e)` pair.
 ///
 /// # Errors
 ///
-/// Returns the first [`Violation::Unstable`] found.
+/// Returns a [`Violation::Unstable`] if any selection changes (which one
+/// is unspecified when several exist).
 pub fn verify_stability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Result<(), Violation> {
     let g = scheme.graph();
     let mut scratch = scheme.new_scratch();
     for faults in fault_sets {
+        let extras: Vec<rsp_graph::EdgeId> =
+            g.edges().map(|(e, _, _)| e).filter(|&e| !faults.contains(e)).collect();
+        let bigger: Vec<FaultSet> = extras.iter().map(|&e| faults.with(e)).collect();
         for s in g.vertices() {
             let tree = scheme.tree_from_with(s, faults, &mut scratch);
-            for t in g.vertices() {
-                let Some(p) = tree.path_to(t) else { continue };
-                for (e, _, _) in g.edges() {
-                    if faults.contains(e) || p.uses_edge(g, e) {
+            // Base paths are shared by every extra-edge check: extract each
+            // once, not once per extra edge.
+            let base_paths: Vec<Option<Path>> = g.vertices().map(|t| tree.path_to(t)).collect();
+            let mut violation: Option<Violation> = None;
+            scheme.for_each_tree(&[s], &bigger, &mut scratch, &mut |_, fi, tree2| {
+                let e = extras[fi];
+                for t in g.vertices() {
+                    let Some(p) = &base_paths[t] else { continue };
+                    if p.uses_edge(g, e) {
                         continue;
                     }
-                    let bigger = faults.with(e);
-                    let p2 = scheme.path_with(s, t, &bigger, &mut scratch);
-                    if p2.as_ref() != Some(&p) {
-                        return Err(Violation::Unstable { s, t, faults: faults.clone(), extra: e });
+                    if tree2.path_to(t).as_ref() != Some(p) {
+                        violation =
+                            Some(Violation::Unstable { s, t, faults: faults.clone(), extra: e });
+                        return ControlFlow::Break(());
                     }
                 }
+                ControlFlow::Continue(())
+            });
+            if let Some(v) = violation {
+                return Err(v);
             }
         }
     }
@@ -285,6 +364,48 @@ pub fn verify_restorability<S: Rpts>(scheme: &S, fault_sets: &[FaultSet]) -> Res
         }
     }
     Ok(())
+}
+
+/// [`verify_restorability`] with fault sets fanned out over a worker pool
+/// (one scheme scratch per worker).
+///
+/// Every `(s, t, F)` instance checked by the sequential form is checked
+/// here; the violation reported (if any) is the sequential form's — the
+/// one for the earliest fault set in `fault_sets` order.
+///
+/// # Errors
+///
+/// Returns a [`Violation::NotRestorable`] if any instance cannot be
+/// restored.
+pub fn verify_restorability_par<S: Rpts + Sync>(
+    scheme: &S,
+    fault_sets: &[FaultSet],
+    workers: usize,
+) -> Result<(), Violation> {
+    let g = scheme.graph();
+    let first = parallel_indexed(
+        fault_sets.len(),
+        workers,
+        |_| scheme.new_scratch(),
+        |scratch, i| {
+            let faults = &fault_sets[i];
+            if faults.is_empty() {
+                return None;
+            }
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    if s == t || !connected_pair(g, s, t, faults) {
+                        continue;
+                    }
+                    if restore_by_concatenation_with(scheme, s, t, faults, scratch).is_none() {
+                        return Some(Violation::NotRestorable { s, t, faults: faults.clone() });
+                    }
+                }
+            }
+            None
+        },
+    );
+    first.into_iter().flatten().next().map_or(Ok(()), Err)
 }
 
 /// All fault sets of size exactly `k` over the graph's edges.
@@ -374,6 +495,25 @@ mod tests {
         verify_consistency(&scheme, &FaultSet::empty()).unwrap();
         verify_stability(&scheme, &[FaultSet::empty()]).unwrap();
         verify_restorability(&scheme, &all_fault_sets(g.m(), 1)).unwrap();
+    }
+
+    #[test]
+    fn parallel_verifiers_agree_with_sequential() {
+        let g = generators::grid(3, 3);
+        let scheme = RandomGridAtw::theorem20(&g, 8).into_scheme();
+        let singles = all_fault_sets(g.m(), 1);
+        for workers in [1, 2, 8] {
+            assert!(verify_shortest_par(&scheme, &singles, workers).is_ok(), "w={workers}");
+            assert!(verify_restorability_par(&scheme, &singles, workers).is_ok(), "w={workers}");
+        }
+        // A non-restorable scheme must fail in parallel too, reporting the
+        // earliest failing fault set.
+        let naive = crate::naive::BfsScheme::new(&g, crate::naive::BfsOrder::Ascending);
+        let seq = verify_restorability(&naive, &singles).unwrap_err();
+        for workers in [1, 2, 8] {
+            let par = verify_restorability_par(&naive, &singles, workers).unwrap_err();
+            assert_eq!(par, seq, "w={workers}");
+        }
     }
 
     #[test]

@@ -24,6 +24,15 @@
 //!   [`existential_restoration_stats`], the known-true existential DAG
 //!   restoration lemma.
 //!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`Digraph`], [`generators`] | Section 1.2's unweighted-DAG setting |
+//! | [`DagScheme`] | the Theorem 20 recipe transplanted (antisymmetry vacuous on arcs) |
+//! | [`dag_restoration_stats`] | the open question, measured: selected-path concatenation on DAGs |
+//! | [`existential_restoration_stats`] | the known-true existential DAG restoration lemma (control) |
+//!
 //! # Examples
 //!
 //! ```

@@ -1,0 +1,697 @@
+//! Batched multi-fault queries: shared search prefixes across fault sets.
+//!
+//! The paper's experiments — and any production use of Theorem 2-style
+//! restoration — are loops over `sources × fault_sets` shortest-path
+//! queries. Running each query from scratch repeats work: two queries from
+//! the same source whose fault sets are **not touched by the early search
+//! frontier** proceed identically until the first faulted edge is examined.
+//! This module exploits that:
+//!
+//! * [`BatchScratch`] owns a *baseline* (fault-free) run per source,
+//!   instrumented with the settle order and, per edge, the settle step at
+//!   which the edge is first examined;
+//! * for each fault set `F`, the *prefix length* `k = min_{e ∈ F}
+//!   first_examined(e)` bounds how many settle steps of the baseline are
+//!   provably identical in `G \ F`; the query **resumes** from that prefix
+//!   (copy `k` settled vertices, replay only their frontier relaxations,
+//!   continue the search) instead of starting over;
+//! * fault sets the baseline never examines (`k` = the whole settle order)
+//!   are answered by the baseline directly, with **zero** additional
+//!   traversal — the common case for local faults far from the source.
+//!
+//! Results are **byte-identical** to the single-query engine
+//! ([`crate::bfs_into`] / [`crate::dijkstra_into`]): same distances, costs,
+//! parents, settle order, and tie detection (the property suite in
+//! `tests/batch_properties.rs` asserts this exhaustively).
+//!
+//! The worker-pool variants [`bfs_batch_par`] / [`dijkstra_batch_par`] fan
+//! sources out over `std::thread::scope` threads, one [`BatchScratch`] per
+//! worker, and return per-query extracted results in deterministic
+//! `sources × fault_sets` order regardless of worker count.
+//!
+//! # Examples
+//!
+//! Batch BFS over all single-edge faults, reading results per query:
+//!
+//! ```
+//! use rsp_graph::{bfs_batch, generators, BatchScratch, FaultSet};
+//!
+//! let g = generators::grid(4, 4);
+//! let faults: Vec<FaultSet> = (0..g.m()).map(FaultSet::single).collect();
+//! let mut scratch = BatchScratch::<u32>::with_capacity(g.n());
+//! let mut reachable = 0usize;
+//! bfs_batch(&g, &[0, 15], &faults, &mut scratch, |_s, _f, result| {
+//!     reachable += result.reachable_count();
+//!     std::ops::ControlFlow::Continue(())
+//! });
+//! // A 4×4 grid stays connected under any single fault.
+//! assert_eq!(reachable, 2 * g.m() * g.n());
+//! ```
+//!
+//! Parallel weighted batch, extracting one cost per query:
+//!
+//! ```
+//! use rsp_graph::{dijkstra_batch_par, generators, FaultSet};
+//!
+//! let g = generators::cycle(6);
+//! let faults = [FaultSet::empty(), FaultSet::single(0)];
+//! let costs = dijkstra_batch_par(
+//!     &g,
+//!     &[0, 3],
+//!     &faults,
+//!     || |e: usize, _u: usize, _v: usize| 10u64 + e as u64,
+//!     2,
+//!     |_s, _f, result| result.cost(1).copied(),
+//! );
+//! assert_eq!(costs.len(), 2); // one row per source
+//! assert_eq!(costs[0][0], Some(10)); // 0 → 1 over edge 0
+//! assert!(costs[0][1].unwrap() > 10); // edge 0 failed: the long way round
+//! ```
+
+use std::ops::ControlFlow;
+
+use rsp_arith::PathCost;
+
+use crate::fault::FaultSet;
+use crate::graph::{EdgeId, Graph, Vertex};
+use crate::pool::parallel_indexed;
+use crate::scratch::{
+    bfs_observed, bfs_run, dijkstra_observed, dijkstra_run, relax, EdgeCostSource, NoObserver,
+    SearchObserver, SearchScratch, SETTLED,
+};
+
+/// Forwards an [`EdgeCostSource`] by mutable reference, so one cost source
+/// instance can serve every query of a batch.
+struct ByRef<'a, T>(&'a mut T);
+
+impl<C: PathCost, T: EdgeCostSource<C>> EdgeCostSource<C> for ByRef<'_, T> {
+    #[inline]
+    fn accumulate(&mut self, base: &C, e: EdgeId, from: Vertex, to: Vertex, out: &mut C) {
+        self.0.accumulate(base, e, from, to, out);
+    }
+}
+
+/// Records the baseline run's settle order and per-step progress.
+struct Recorder<'a> {
+    settle_order: &'a mut Vec<Vertex>,
+    /// `ties_prefix[j]`: cumulative tie flag after `j` settle steps.
+    ties_prefix: &'a mut Vec<bool>,
+    /// `reach_after[j]`: vertices discovered after `j` settle steps.
+    reach_after: &'a mut Vec<usize>,
+}
+
+impl SearchObserver for Recorder<'_> {
+    #[inline]
+    fn popped(&mut self, v: Vertex) {
+        self.settle_order.push(v);
+    }
+
+    #[inline]
+    fn relaxed(&mut self, reached: usize, ties: bool) {
+        self.ties_prefix.push(ties);
+        self.reach_after.push(reached);
+    }
+}
+
+/// Reusable state for one source's multi-fault query batch.
+///
+/// Holds the instrumented fault-free baseline run plus a second
+/// [`SearchScratch`] that faulted queries resume into. One `BatchScratch`
+/// serves any number of [`bfs_batch`] / [`dijkstra_batch`] calls (and any
+/// number of sources within a call — the baseline is rebuilt per source).
+///
+/// The cost type parameter defaults to `u32` for unweighted (BFS-only) use.
+#[derive(Clone, Debug)]
+pub struct BatchScratch<C = u32> {
+    /// The fault-free run for the current source.
+    baseline: SearchScratch<C>,
+    /// Target scratch for resumed (faulted) queries.
+    resume: SearchScratch<C>,
+    /// Baseline settle order (BFS: dequeue order; Dijkstra: pop order).
+    settle_order: Vec<Vertex>,
+    /// Cumulative tie flag after each settle step; `ties_prefix[0] = false`.
+    ties_prefix: Vec<bool>,
+    /// Discovered-vertex count after each settle step; `reach_after[0] = 1`.
+    reach_after: Vec<usize>,
+    /// Per edge: the settle step at which the baseline first examines it,
+    /// or `u32::MAX` if it never does.
+    first_examined: Vec<u32>,
+}
+
+impl<C: PathCost> Default for BatchScratch<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: PathCost> BatchScratch<C> {
+    /// An empty batch scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BatchScratch {
+            baseline: SearchScratch::new(),
+            resume: SearchScratch::new(),
+            settle_order: Vec::new(),
+            ties_prefix: Vec::new(),
+            reach_after: Vec::new(),
+            first_examined: Vec::new(),
+        }
+    }
+
+    /// A batch scratch pre-sized for graphs with up to `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        BatchScratch {
+            baseline: SearchScratch::with_capacity(n),
+            resume: SearchScratch::with_capacity(n),
+            settle_order: Vec::with_capacity(n),
+            ties_prefix: Vec::with_capacity(n + 1),
+            reach_after: Vec::with_capacity(n + 1),
+            first_examined: Vec::new(),
+        }
+    }
+
+    /// Resets the per-source instrumentation ahead of a baseline run.
+    fn begin_source(&mut self) {
+        self.settle_order.clear();
+        self.ties_prefix.clear();
+        self.ties_prefix.push(false);
+        self.reach_after.clear();
+        self.reach_after.push(1);
+    }
+
+    /// Derives `first_examined` from the recorded settle order.
+    fn index_edges(&mut self, g: &Graph) {
+        self.first_examined.clear();
+        self.first_examined.resize(g.m(), u32::MAX);
+        for (step, &u) in self.settle_order.iter().enumerate() {
+            for (_, e) in g.neighbors(u) {
+                if self.first_examined[e] == u32::MAX {
+                    self.first_examined[e] = step as u32;
+                }
+            }
+        }
+    }
+
+    /// Number of baseline settle steps provably unaffected by `faults`:
+    /// the earliest step at which any faulted edge is examined (or the
+    /// full settle count if none ever is).
+    fn prefix_len(&self, faults: &FaultSet) -> usize {
+        let mut k = self.settle_order.len();
+        for e in faults.iter() {
+            if let Some(&step) = self.first_examined.get(e) {
+                k = k.min(step as usize);
+            }
+        }
+        k
+    }
+
+    /// Resumes a BFS query against `faults` from the `k`-step baseline
+    /// prefix: the first `reach_after[k]` discovered vertices are copied
+    /// verbatim, the still-queued ones re-enter the frontier, and the
+    /// traversal continues with `faults` active.
+    fn resume_bfs(&mut self, g: &Graph, faults: &FaultSet, k: usize) {
+        let base = &self.baseline;
+        let out = &mut self.resume;
+        let reach = self.reach_after[k];
+        out.begin(g.n(), base.source, false);
+        let epoch = out.epoch;
+        for &v in &base.touched[..reach] {
+            out.stamp[v] = epoch;
+            out.hops[v] = base.hops[v];
+            out.parent[v] = base.parent[v];
+            out.touched.push(v);
+        }
+        // BFS settles in discovery order, so after k dequeues the frontier
+        // is exactly the discovered-but-not-dequeued span of the prefix.
+        for &v in &base.touched[k..reach] {
+            out.queue.push_back(v);
+        }
+        bfs_run(g, faults, out, &mut NoObserver);
+    }
+
+    /// Resumes a Dijkstra query against `faults` from the `k`-step
+    /// baseline prefix: the `k` settled vertices are copied verbatim,
+    /// their relaxations toward *open* vertices are replayed in original
+    /// order (rebuilding the heap frontier), and the search continues with
+    /// `faults` active.
+    fn resume_dijkstra<F: EdgeCostSource<C>>(
+        &mut self,
+        g: &Graph,
+        faults: &FaultSet,
+        mut costs: F,
+        k: usize,
+    ) {
+        if k == 0 {
+            // A faulted edge is incident to the source: nothing to reuse.
+            dijkstra_observed(
+                g,
+                self.baseline.source,
+                faults,
+                costs,
+                &mut self.resume,
+                &mut NoObserver,
+            );
+            return;
+        }
+        let base = &self.baseline;
+        let out = &mut self.resume;
+        out.begin(g.n(), base.source, true);
+        out.ties = self.ties_prefix[k];
+        let epoch = out.epoch;
+        for &v in &self.settle_order[..k] {
+            out.stamp[v] = epoch;
+            out.key[v].clone_from(&base.key[v]);
+            out.hops[v] = base.hops[v];
+            out.parent[v] = base.parent[v];
+            out.heap_pos[v] = SETTLED;
+            out.touched.push(v);
+        }
+        // Replay the prefix's relaxations toward open vertices, in the
+        // original order, to rebuild tentative keys and the heap. Edges
+        // between two prefix vertices are fully resolved (any tie they
+        // produced is in `ties_prefix[k]`) and are skipped. No faulted
+        // edge is examined here: each has `first_examined ≥ k`, so neither
+        // endpoint settled before step `k`.
+        let SearchScratch { stamp, key, parent, hops, heap, heap_pos, touched, cand, ties, .. } =
+            out;
+        for &u in &self.settle_order[..k] {
+            for (v, e) in g.neighbors(u) {
+                if stamp[v] == epoch && heap_pos[v] == SETTLED {
+                    continue;
+                }
+                debug_assert!(!faults.contains(e), "faulted edge inside shared prefix");
+                costs.accumulate(&key[u], e, u, v, cand);
+                relax(
+                    u, v, e, epoch, cand, stamp, key, parent, hops, heap, heap_pos, touched, ties,
+                );
+            }
+        }
+        dijkstra_run(g, faults, costs, out, &mut NoObserver);
+    }
+}
+
+/// Runs BFS for every query in `sources × fault_sets`, sharing the settled
+/// search prefix between fault sets that agree on the early frontier.
+///
+/// `visitor` is called once per query, in source-major order
+/// (`(0, 0), (0, 1), …, (1, 0), …`), with the source index, fault-set
+/// index, and the scratch holding that query's complete result. Results
+/// are byte-identical to running [`crate::bfs_into`] per query; the view
+/// is only valid for the duration of the callback. Returning
+/// [`ControlFlow::Break`] stops the batch immediately (remaining queries
+/// are never computed) — searches and early-exiting sweeps use this.
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn bfs_batch<C, V>(
+    g: &Graph,
+    sources: &[Vertex],
+    fault_sets: &[FaultSet],
+    scratch: &mut BatchScratch<C>,
+    mut visitor: V,
+) where
+    C: PathCost,
+    V: FnMut(usize, usize, &SearchScratch<C>) -> ControlFlow<()>,
+{
+    for (si, &s) in sources.iter().enumerate() {
+        scratch.begin_source();
+        let BatchScratch { baseline, settle_order, ties_prefix, reach_after, .. } = scratch;
+        let mut rec = Recorder { settle_order, ties_prefix, reach_after };
+        bfs_observed(g, s, &FaultSet::empty(), baseline, &mut rec);
+        scratch.index_edges(g);
+        for (fi, faults) in fault_sets.iter().enumerate() {
+            let k = scratch.prefix_len(faults);
+            let flow = if k >= scratch.settle_order.len() {
+                // No faulted edge is ever examined: the baseline answers.
+                visitor(si, fi, &scratch.baseline)
+            } else {
+                scratch.resume_bfs(g, faults, k);
+                visitor(si, fi, &scratch.resume)
+            };
+            if flow.is_break() {
+                return;
+            }
+        }
+    }
+}
+
+/// Runs exact-cost Dijkstra for every query in `sources × fault_sets`,
+/// sharing the settled search prefix between fault sets that agree on the
+/// early frontier.
+///
+/// `visitor` is called once per query, in source-major order, with the
+/// source index, fault-set index, and the scratch holding that query's
+/// complete result (costs, hops, parents, tie flag). Results are
+/// byte-identical to running [`crate::dijkstra_into`] per query; the view
+/// is only valid for the duration of the callback. Returning
+/// [`ControlFlow::Break`] stops the batch immediately (remaining queries
+/// are never computed).
+///
+/// `costs` must be a pure function of its arguments (the same requirement
+/// every repeated-query caller already relies on); it is consulted both for
+/// the baseline run and for each resumed query.
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn dijkstra_batch<C, F, V>(
+    g: &Graph,
+    sources: &[Vertex],
+    fault_sets: &[FaultSet],
+    mut costs: F,
+    scratch: &mut BatchScratch<C>,
+    mut visitor: V,
+) where
+    C: PathCost,
+    F: EdgeCostSource<C>,
+    V: FnMut(usize, usize, &SearchScratch<C>) -> ControlFlow<()>,
+{
+    for (si, &s) in sources.iter().enumerate() {
+        scratch.begin_source();
+        let BatchScratch { baseline, settle_order, ties_prefix, reach_after, .. } = scratch;
+        let mut rec = Recorder { settle_order, ties_prefix, reach_after };
+        dijkstra_observed(g, s, &FaultSet::empty(), ByRef(&mut costs), baseline, &mut rec);
+        scratch.index_edges(g);
+        for (fi, faults) in fault_sets.iter().enumerate() {
+            let k = scratch.prefix_len(faults);
+            let flow = if k >= scratch.settle_order.len() {
+                visitor(si, fi, &scratch.baseline)
+            } else {
+                scratch.resume_dijkstra(g, faults, ByRef(&mut costs), k);
+                visitor(si, fi, &scratch.resume)
+            };
+            if flow.is_break() {
+                return;
+            }
+        }
+    }
+}
+
+/// [`bfs_batch`] with sources fanned out over a worker pool.
+///
+/// Each worker owns one [`BatchScratch`]; `map` extracts a per-query result
+/// from the borrowed scratch view. Returns one row per source, each row
+/// holding one extracted value per fault set — identical content in
+/// identical order for every worker count (including 1, which runs inline
+/// on the calling thread).
+pub fn bfs_batch_par<C, M, R>(
+    g: &Graph,
+    sources: &[Vertex],
+    fault_sets: &[FaultSet],
+    workers: usize,
+    map: M,
+) -> Vec<Vec<R>>
+where
+    C: PathCost,
+    M: Fn(usize, usize, &SearchScratch<C>) -> R + Sync,
+    R: Send,
+{
+    parallel_indexed(
+        sources.len(),
+        workers,
+        |_| BatchScratch::<C>::with_capacity(g.n()),
+        |scratch, i| {
+            let mut row = Vec::with_capacity(fault_sets.len());
+            bfs_batch(g, &sources[i..=i], fault_sets, scratch, |_, fi, result| {
+                row.push(map(i, fi, result));
+                ControlFlow::Continue(())
+            });
+            row
+        },
+    )
+}
+
+/// [`dijkstra_batch`] with sources fanned out over a worker pool.
+///
+/// `make_costs` builds one cost source per source queried (workers cannot
+/// share one `&mut` cost source); `map` extracts a per-query result from
+/// the borrowed scratch view. Returns one row per source, each row holding
+/// one extracted value per fault set — identical content in identical
+/// order for every worker count (including 1, which runs inline on the
+/// calling thread).
+pub fn dijkstra_batch_par<C, MF, F, M, R>(
+    g: &Graph,
+    sources: &[Vertex],
+    fault_sets: &[FaultSet],
+    make_costs: MF,
+    workers: usize,
+    map: M,
+) -> Vec<Vec<R>>
+where
+    C: PathCost,
+    MF: Fn() -> F + Sync,
+    F: EdgeCostSource<C>,
+    M: Fn(usize, usize, &SearchScratch<C>) -> R + Sync,
+    R: Send,
+{
+    parallel_indexed(
+        sources.len(),
+        workers,
+        |_| BatchScratch::<C>::with_capacity(g.n()),
+        |scratch, i| {
+            let mut row = Vec::with_capacity(fault_sets.len());
+            dijkstra_batch(
+                g,
+                &sources[i..=i],
+                fault_sets,
+                make_costs(),
+                scratch,
+                |_, fi, result| {
+                    row.push(map(i, fi, result));
+                    ControlFlow::Continue(())
+                },
+            );
+            row
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::scratch::{bfs_into, dijkstra_into, DirectedCosts};
+
+    /// All single faults plus the empty set plus some doubles, in an order
+    /// that interleaves near-source and far-from-source faults.
+    fn mixed_fault_sets(g: &Graph) -> Vec<FaultSet> {
+        let mut fs = vec![FaultSet::empty()];
+        fs.extend((0..g.m()).rev().map(FaultSet::single));
+        for e in 0..g.m().saturating_sub(1) {
+            fs.push(FaultSet::from_edges([e, g.m() - 1 - e / 2]));
+        }
+        fs
+    }
+
+    fn assert_scratches_equal<C: PathCost>(
+        g: &Graph,
+        batch: &SearchScratch<C>,
+        single: &SearchScratch<C>,
+        ctx: &str,
+    ) {
+        for v in g.vertices() {
+            assert_eq!(batch.cost(v), single.cost(v), "{ctx}: cost({v})");
+            assert_eq!(batch.hops(v), single.hops(v), "{ctx}: hops({v})");
+            assert_eq!(batch.parent(v), single.parent(v), "{ctx}: parent({v})");
+        }
+        assert_eq!(batch.ties_detected(), single.ties_detected(), "{ctx}: ties");
+        assert_eq!(batch.reachable_count(), single.reachable_count(), "{ctx}: reached");
+    }
+
+    #[test]
+    fn bfs_batch_matches_single_queries() {
+        for g in [generators::grid(4, 5), generators::petersen(), generators::path_graph(9)] {
+            let fault_sets = mixed_fault_sets(&g);
+            let sources: Vec<Vertex> = vec![0, g.n() / 2, g.n() - 1];
+            let mut batch = BatchScratch::<u32>::new();
+            let mut single = SearchScratch::<u32>::new();
+            bfs_batch(&g, &sources, &fault_sets, &mut batch, |si, fi, result| {
+                bfs_into(&g, sources[si], &fault_sets[fi], &mut single);
+                assert_scratches_equal(&g, result, &single, &format!("bfs s{si} f{fi}"));
+                ControlFlow::Continue(())
+            });
+        }
+    }
+
+    #[test]
+    fn dijkstra_batch_matches_single_queries() {
+        let g = generators::grid(4, 4);
+        let fault_sets = mixed_fault_sets(&g);
+        let sources: Vec<Vertex> = vec![0, 5, 15];
+        let cost = |e: EdgeId, u: Vertex, v: Vertex| 1_000u64 + (e as u64 % 7) + u64::from(u < v);
+        let mut batch = BatchScratch::<u64>::new();
+        let mut single = SearchScratch::<u64>::new();
+        dijkstra_batch(&g, &sources, &fault_sets, cost, &mut batch, |si, fi, result| {
+            dijkstra_into(&g, sources[si], &fault_sets[fi], cost, &mut single);
+            assert_scratches_equal(&g, result, &single, &format!("dij s{si} f{fi}"));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn dijkstra_batch_detects_ties_like_single_queries() {
+        // Uniform costs on a tie-rich grid: both engines must flag ties
+        // identically for every fault set.
+        let g = generators::grid(3, 3);
+        let fault_sets = mixed_fault_sets(&g);
+        let mut batch = BatchScratch::<u64>::new();
+        let mut single = SearchScratch::<u64>::new();
+        dijkstra_batch(
+            &g,
+            &[0, 4],
+            &fault_sets,
+            |_, _, _| 10u64,
+            &mut batch,
+            |si, fi, result| {
+                dijkstra_into(&g, [0, 4][si], &fault_sets[fi], |_, _, _| 10u64, &mut single);
+                assert_eq!(result.ties_detected(), single.ties_detected(), "s{si} f{fi}");
+                assert!(result.ties_detected(), "uniform grid costs tie everywhere");
+                ControlFlow::Continue(())
+            },
+        );
+    }
+
+    #[test]
+    fn source_incident_fault_resumes_from_scratch() {
+        // Every edge at vertex 0 is examined at settle step 0, forcing the
+        // k = 0 path.
+        let g = generators::star(6);
+        let fault_sets: Vec<FaultSet> = (0..g.m()).map(FaultSet::single).collect();
+        let mut batch = BatchScratch::<u64>::new();
+        let mut single = SearchScratch::<u64>::new();
+        dijkstra_batch(
+            &g,
+            &[0],
+            &fault_sets,
+            |e, _, _| 5u64 + e as u64,
+            &mut batch,
+            |_, fi, r| {
+                dijkstra_into(&g, 0, &fault_sets[fi], |e, _, _| 5u64 + e as u64, &mut single);
+                assert_scratches_equal(&g, r, &single, &format!("star f{fi}"));
+                assert_eq!(r.cost(fi + 1), None, "cut leaf is unreachable");
+                ControlFlow::Continue(())
+            },
+        );
+    }
+
+    #[test]
+    fn disconnecting_faults_are_exact() {
+        let g = generators::path_graph(8);
+        let fault_sets = mixed_fault_sets(&g);
+        let mut batch = BatchScratch::<u32>::new();
+        let mut single = SearchScratch::<u32>::new();
+        bfs_batch(&g, &[0, 3, 7], &fault_sets, &mut batch, |si, fi, result| {
+            bfs_into(&g, [0, 3, 7][si], &fault_sets[fi], &mut single);
+            assert_scratches_equal(&g, result, &single, &format!("path s{si} f{fi}"));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn directed_costs_batch_matches() {
+        let g = generators::grid(4, 3);
+        let fwd: Vec<u128> = (0..g.m()).map(|e| 10_000 + e as u128).collect();
+        let bwd: Vec<u128> = fwd.iter().map(|f| 20_000 - f).collect();
+        let fault_sets = mixed_fault_sets(&g);
+        let mut batch = BatchScratch::<u128>::new();
+        let mut single = SearchScratch::<u128>::new();
+        let sources: Vec<Vertex> = g.vertices().collect();
+        dijkstra_batch(
+            &g,
+            &sources,
+            &fault_sets,
+            DirectedCosts::new(&fwd, &bwd),
+            &mut batch,
+            |si, fi, result| {
+                dijkstra_into(
+                    &g,
+                    sources[si],
+                    &fault_sets[fi],
+                    DirectedCosts::new(&fwd, &bwd),
+                    &mut single,
+                );
+                assert_scratches_equal(&g, result, &single, &format!("dc s{si} f{fi}"));
+                ControlFlow::Continue(())
+            },
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_worker_counts() {
+        let g = generators::grid(4, 4);
+        let fault_sets = mixed_fault_sets(&g);
+        let sources: Vec<Vertex> = g.vertices().collect();
+        let cost = |e: EdgeId, _: Vertex, _: Vertex| 100u64 + e as u64;
+        let baseline = dijkstra_batch_par(
+            &g,
+            &sources,
+            &fault_sets,
+            || cost,
+            1,
+            |_, _, r| (r.cost(15).copied(), r.hops(15), r.ties_detected()),
+        );
+        for workers in [2, 8] {
+            let par = dijkstra_batch_par(
+                &g,
+                &sources,
+                &fault_sets,
+                || cost,
+                workers,
+                |_, _, r| (r.cost(15).copied(), r.hops(15), r.ties_detected()),
+            );
+            assert_eq!(par, baseline, "workers = {workers}");
+        }
+        let bfs_base =
+            bfs_batch_par::<u32, _, _>(&g, &sources, &fault_sets, 1, |_, _, r| r.reachable_count());
+        let bfs_par =
+            bfs_batch_par::<u32, _, _>(&g, &sources, &fault_sets, 8, |_, _, r| r.reachable_count());
+        assert_eq!(bfs_par, bfs_base);
+    }
+
+    #[test]
+    fn batch_scratch_survives_graph_switches() {
+        let mut batch = BatchScratch::<u32>::new();
+        for g in [generators::grid(5, 5), generators::cycle(4), generators::complete(7)] {
+            let fault_sets = mixed_fault_sets(&g);
+            let mut single = SearchScratch::<u32>::new();
+            bfs_batch(&g, &[0], &fault_sets, &mut batch, |_, fi, result| {
+                bfs_into(&g, 0, &fault_sets[fi], &mut single);
+                assert_scratches_equal(&g, result, &single, &format!("switch f{fi}"));
+                ControlFlow::Continue(())
+            });
+        }
+    }
+
+    #[test]
+    fn break_stops_the_batch() {
+        let g = generators::grid(3, 3);
+        let fault_sets = mixed_fault_sets(&g);
+        let mut batch = BatchScratch::<u32>::new();
+        let mut seen = 0usize;
+        bfs_batch(&g, &[0, 4], &fault_sets, &mut batch, |si, fi, _| {
+            seen += 1;
+            if (si, fi) == (0, 2) {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(seen, 3, "queries after the break must never run");
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let g = generators::cycle(4);
+        let mut batch = BatchScratch::<u32>::new();
+        let mut calls = 0;
+        let mut count = |_: usize, _: usize, _: &SearchScratch<u32>| {
+            calls += 1;
+            ControlFlow::Continue(())
+        };
+        bfs_batch(&g, &[], &[FaultSet::empty()], &mut batch, &mut count);
+        bfs_batch(&g, &[0], &[], &mut batch, &mut count);
+        assert_eq!(calls, 0);
+        let out = bfs_batch_par::<u32, _, _>(&g, &[], &[], 4, |_, _, _| ());
+        assert!(out.is_empty());
+    }
+}

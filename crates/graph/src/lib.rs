@@ -20,12 +20,31 @@
 //!   reusable search-state engine behind both traversals: generation
 //!   stamping, a dirty list, and an indexed decrease-key heap make
 //!   repeated `(source, fault set)` queries allocation-free;
+//! * [`BatchScratch`] with [`bfs_batch`] / [`dijkstra_batch`] — the batch
+//!   engine over `sources × fault_sets`: fault sets agreeing on the early
+//!   search frontier share the settled prefix of a per-source baseline
+//!   run instead of searching from scratch;
+//! * [`bfs_batch_par`] / [`dijkstra_batch_par`] / [`parallel_indexed`] —
+//!   worker-pool fan-out over sources (`std::thread::scope`, one scratch
+//!   per worker, deterministic index-ordered results);
 //! * [`WeightedSpt`] / [`BfsTree`] — shortest-path trees with path
 //!   extraction;
 //! * [`NextHopTable`] — routing tables in the MPLS sense (consistency of a
 //!   tiebreaking scheme is exactly what makes these well defined);
 //! * [`generators`] — the graph families used across tests and experiments,
 //!   including the 4-cycle of Theorem 37 and workloads for the benches.
+//!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`Graph`], [`GraphBuilder`] | Section 2 model: undirected, unweighted `G` |
+//! | [`FaultSet`] | the fault set `F`, `\|F\| ≤ f`; `G \ F` everywhere |
+//! | [`bfs`], [`bfs_into`] | ground-truth `dist_{G\F}`, the quantity every theorem bounds |
+//! | [`dijkstra`], [`dijkstra_into`] | unique shortest paths in the perturbed `G* \ F` (Definition 18) |
+//! | [`bfs_batch`], [`dijkstra_batch`], [`parallel_indexed`] | experiment scaling: the `sources × fault_sets` query loops behind Sections 3–4 |
+//! | [`NextHopTable`] | Section 1's MPLS routing-table deployment |
+//! | [`generators`] | Theorem 37's 4-cycle, tie-rich grids/hypercubes, G(n,m) workloads |
 //!
 //! # Examples
 //!
@@ -45,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bfs;
 mod builder;
 mod connectivity;
@@ -54,11 +74,13 @@ pub mod generators;
 mod graph;
 mod io;
 mod path;
+mod pool;
 mod routing;
 mod scratch;
 mod spt;
 mod weights;
 
+pub use batch::{bfs_batch, bfs_batch_par, dijkstra_batch, dijkstra_batch_par, BatchScratch};
 pub use bfs::{bfs, bfs_all_pairs, BfsTree};
 pub use builder::{GraphBuilder, GraphError};
 pub use connectivity::{components, connected_pair, diameter, is_connected, is_connected_avoiding};
@@ -67,6 +89,7 @@ pub use fault::FaultSet;
 pub use graph::{EdgeId, Graph, Vertex};
 pub use io::{from_edge_list_str, to_edge_list_string, ParseGraphError};
 pub use path::Path;
+pub use pool::{default_workers, parallel_indexed};
 pub use routing::NextHopTable;
 pub use scratch::{bfs_into, dijkstra_into, DirectedCosts, EdgeCostSource, SearchScratch};
 pub use spt::WeightedSpt;

@@ -52,7 +52,7 @@ use crate::path::Path;
 use crate::spt::WeightedSpt;
 
 /// Heap-position sentinel: the vertex is settled (or was never enqueued).
-const SETTLED: u32 = u32::MAX;
+pub(crate) const SETTLED: u32 = u32::MAX;
 
 /// Heap arity. Four keeps the tree shallow (fewer comparisons per
 /// decrease-key, the dominant operation) while sift-down still touches one
@@ -155,29 +155,29 @@ impl<C: PathCost> EdgeCostSource<C> for DirectedCosts<'_, C> {
 #[derive(Clone, Debug)]
 pub struct SearchScratch<C = u32> {
     /// Query generation; a per-vertex slot is valid iff `stamp[v] == epoch`.
-    epoch: u32,
+    pub(crate) epoch: u32,
     /// Vertex count of the most recent query's graph.
-    n: usize,
-    source: Vertex,
+    pub(crate) n: usize,
+    pub(crate) source: Vertex,
     /// Whether the most recent query was weighted (`dijkstra_into`).
-    weighted: bool,
-    ties: bool,
-    stamp: Vec<u32>,
+    pub(crate) weighted: bool,
+    pub(crate) ties: bool,
+    pub(crate) stamp: Vec<u32>,
     /// Tentative/final exact cost per vertex (weighted queries only).
-    key: Vec<C>,
+    pub(crate) key: Vec<C>,
     /// Parent `(vertex, edge)`; valid iff stamped and not the source.
-    parent: Vec<(Vertex, EdgeId)>,
-    hops: Vec<u32>,
+    pub(crate) parent: Vec<(Vertex, EdgeId)>,
+    pub(crate) hops: Vec<u32>,
     /// Indexed d-ary min-heap of open vertices, ordered by `(key, id)`.
-    heap: Vec<Vertex>,
+    pub(crate) heap: Vec<Vertex>,
     /// Position of each vertex in `heap`, or [`SETTLED`].
-    heap_pos: Vec<u32>,
+    pub(crate) heap_pos: Vec<u32>,
     /// BFS frontier ring buffer.
-    queue: VecDeque<Vertex>,
+    pub(crate) queue: VecDeque<Vertex>,
     /// Dirty list: vertices reached by the current query, in reach order.
-    touched: Vec<Vertex>,
+    pub(crate) touched: Vec<Vertex>,
     /// Relaxation buffer: the candidate cost under evaluation.
-    cand: C,
+    pub(crate) cand: C,
 }
 
 impl<C: PathCost> SearchScratch<C> {
@@ -221,7 +221,7 @@ impl<C: PathCost> SearchScratch<C> {
     /// Opens a new query generation. All previous per-vertex state becomes
     /// invisible in `O(1)` (amortized: a full clear happens only when the
     /// 32-bit epoch wraps, once per ~4 billion queries).
-    fn begin(&mut self, n: usize, source: Vertex, weighted: bool) {
+    pub(crate) fn begin(&mut self, n: usize, source: Vertex, weighted: bool) {
         assert!(n < SETTLED as usize, "graph too large for scratch heap indices");
         self.grow(n);
         if self.epoch == u32::MAX {
@@ -372,6 +372,29 @@ impl<C: PathCost> Default for SearchScratch<C> {
     }
 }
 
+/// Hooks into the search loops, called as the traversal progresses.
+///
+/// The batch engine ([`crate::batch`]) records settle order and per-step
+/// progress through this trait to decide how much of a fault-free baseline
+/// run a faulted query can reuse. The no-op [`NoObserver`] compiles away,
+/// keeping the plain [`bfs_into`] / [`dijkstra_into`] hot paths unchanged.
+pub(crate) trait SearchObserver {
+    /// A vertex left the frontier and its final distance/cost is fixed
+    /// (BFS dequeue; Dijkstra heap pop). Called *before* its edges relax.
+    #[inline]
+    fn popped(&mut self, _v: Vertex) {}
+
+    /// All edges of the popped vertex have been relaxed. `reached` is the
+    /// number of vertices discovered so far; `ties` the cumulative tie flag.
+    #[inline]
+    fn relaxed(&mut self, _reached: usize, _ties: bool) {}
+}
+
+/// The do-nothing observer behind the public single-query entry points.
+pub(crate) struct NoObserver;
+
+impl SearchObserver for NoObserver {}
+
 /// Runs BFS from `source` in `g \ faults` into `scratch`, allocation-free
 /// once the scratch is warm.
 ///
@@ -388,14 +411,37 @@ pub fn bfs_into<C: PathCost>(
     faults: &FaultSet,
     scratch: &mut SearchScratch<C>,
 ) {
+    bfs_observed(g, source, faults, scratch, &mut NoObserver);
+}
+
+/// [`bfs_into`] with an observer hook (the batch engine's entry point).
+pub(crate) fn bfs_observed<C: PathCost, O: SearchObserver>(
+    g: &Graph,
+    source: Vertex,
+    faults: &FaultSet,
+    scratch: &mut SearchScratch<C>,
+    obs: &mut O,
+) {
     assert!(source < g.n(), "bfs source {source} out of range");
     scratch.begin(g.n(), source, false);
-    let epoch = scratch.epoch;
-    scratch.stamp[source] = epoch;
+    scratch.stamp[source] = scratch.epoch;
     scratch.hops[source] = 0;
     scratch.touched.push(source);
     scratch.queue.push_back(source);
+    bfs_run(g, faults, scratch, obs);
+}
+
+/// The BFS main loop over whatever frontier `scratch.queue` currently
+/// holds; also the continuation step of a batch resume.
+pub(crate) fn bfs_run<C: PathCost, O: SearchObserver>(
+    g: &Graph,
+    faults: &FaultSet,
+    scratch: &mut SearchScratch<C>,
+    obs: &mut O,
+) {
+    let epoch = scratch.epoch;
     while let Some(u) = scratch.queue.pop_front() {
+        obs.popped(u);
         let du = scratch.hops[u];
         for (v, e) in g.neighbors(u) {
             if faults.contains(e) || scratch.stamp[v] == epoch {
@@ -407,6 +453,7 @@ pub fn bfs_into<C: PathCost>(
             scratch.touched.push(v);
             scratch.queue.push_back(v);
         }
+        obs.relaxed(scratch.touched.len(), false);
     }
 }
 
@@ -430,64 +477,123 @@ pub fn dijkstra_into<C, F>(
     g: &Graph,
     source: Vertex,
     faults: &FaultSet,
-    mut costs: F,
+    costs: F,
     scratch: &mut SearchScratch<C>,
 ) where
     C: PathCost,
     F: EdgeCostSource<C>,
 {
+    dijkstra_observed(g, source, faults, costs, scratch, &mut NoObserver);
+}
+
+/// [`dijkstra_into`] with an observer hook (the batch engine's entry point).
+pub(crate) fn dijkstra_observed<C, F, O>(
+    g: &Graph,
+    source: Vertex,
+    faults: &FaultSet,
+    costs: F,
+    scratch: &mut SearchScratch<C>,
+    obs: &mut O,
+) where
+    C: PathCost,
+    F: EdgeCostSource<C>,
+    O: SearchObserver,
+{
     assert!(source < g.n(), "dijkstra source {source} out of range");
     scratch.begin(g.n(), source, true);
+    scratch.stamp[source] = scratch.epoch;
+    scratch.key[source].set_zero();
+    scratch.hops[source] = 0;
+    scratch.touched.push(source);
+    scratch.heap_pos[source] = 0;
+    scratch.heap.push(source);
+    dijkstra_run(g, faults, costs, scratch, obs);
+}
+
+/// Relaxes the single candidate route `u —e→ v` against `v`'s current
+/// state. `cand` must already hold the candidate cost `key[u] + w(e)`.
+///
+/// Shared verbatim between the main loop and the batch engine's prefix
+/// replay — the decision structure (and therefore parent selection and tie
+/// detection) must be identical in both.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn relax<C: PathCost>(
+    u: Vertex,
+    v: Vertex,
+    e: EdgeId,
+    epoch: u32,
+    cand: &mut C,
+    stamp: &mut [u32],
+    key: &mut [C],
+    parent: &mut [(Vertex, EdgeId)],
+    hops: &mut [u32],
+    heap: &mut Vec<Vertex>,
+    heap_pos: &mut [u32],
+    touched: &mut Vec<Vertex>,
+    ties: &mut bool,
+) {
+    if stamp[v] != epoch {
+        // First route into v: adopt the candidate by swap, keeping
+        // both buffers warm.
+        stamp[v] = epoch;
+        mem::swap(&mut key[v], cand);
+        parent[v] = (u, e);
+        hops[v] = hops[u] + 1;
+        touched.push(v);
+        let end = heap.len();
+        heap_pos[v] = end as u32;
+        heap.push(v);
+        sift_up(heap, heap_pos, key, end);
+    } else if heap_pos[v] != SETTLED {
+        match (*cand).cmp(&key[v]) {
+            Ordering::Less => {
+                mem::swap(&mut key[v], cand);
+                parent[v] = (u, e);
+                hops[v] = hops[u] + 1;
+                let pos = heap_pos[v] as usize;
+                sift_up(heap, heap_pos, key, pos);
+            }
+            // Two distinct minimum-cost routes to v: a genuine tie.
+            Ordering::Equal => *ties = true,
+            Ordering::Greater => {}
+        }
+    } else if *cand == key[v] {
+        // Equal-cost route into an already-settled vertex is a tie
+        // too (matches the lazy-deletion engine's detection).
+        *ties = true;
+    }
+}
+
+/// The Dijkstra main loop over whatever open set `scratch.heap` currently
+/// holds; also the continuation step of a batch resume.
+pub(crate) fn dijkstra_run<C, F, O>(
+    g: &Graph,
+    faults: &FaultSet,
+    mut costs: F,
+    scratch: &mut SearchScratch<C>,
+    obs: &mut O,
+) where
+    C: PathCost,
+    F: EdgeCostSource<C>,
+    O: SearchObserver,
+{
     let SearchScratch {
         epoch, stamp, key, parent, hops, heap, heap_pos, touched, cand, ties, ..
     } = scratch;
     let epoch = *epoch;
 
-    stamp[source] = epoch;
-    key[source].set_zero();
-    hops[source] = 0;
-    touched.push(source);
-    heap_pos[source] = 0;
-    heap.push(source);
-
     while !heap.is_empty() {
         let u = pop_min(heap, heap_pos, key);
+        obs.popped(u);
         for (v, e) in g.neighbors(u) {
             if faults.contains(e) {
                 continue;
             }
             costs.accumulate(&key[u], e, u, v, cand);
-            if stamp[v] != epoch {
-                // First route into v: adopt the candidate by swap, keeping
-                // both buffers warm.
-                stamp[v] = epoch;
-                mem::swap(&mut key[v], cand);
-                parent[v] = (u, e);
-                hops[v] = hops[u] + 1;
-                touched.push(v);
-                let end = heap.len();
-                heap_pos[v] = end as u32;
-                heap.push(v);
-                sift_up(heap, heap_pos, key, end);
-            } else if heap_pos[v] != SETTLED {
-                match (*cand).cmp(&key[v]) {
-                    Ordering::Less => {
-                        mem::swap(&mut key[v], cand);
-                        parent[v] = (u, e);
-                        hops[v] = hops[u] + 1;
-                        let pos = heap_pos[v] as usize;
-                        sift_up(heap, heap_pos, key, pos);
-                    }
-                    // Two distinct minimum-cost routes to v: a genuine tie.
-                    Ordering::Equal => *ties = true,
-                    Ordering::Greater => {}
-                }
-            } else if *cand == key[v] {
-                // Equal-cost route into an already-settled vertex is a tie
-                // too (matches the lazy-deletion engine's detection).
-                *ties = true;
-            }
+            relax(u, v, e, epoch, cand, stamp, key, parent, hops, heap, heap_pos, touched, ties);
         }
+        obs.relaxed(touched.len(), *ties);
     }
 }
 

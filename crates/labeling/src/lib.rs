@@ -15,6 +15,14 @@
 //! is `O(n^{2−1/2^f} log n)` bits; for `f = 0` that is `Õ(n)`, improving
 //! the `Õ(n^{3/2})` of Bilò et al. as the paper notes.
 //!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`build_labeling`], [`DistanceLabeling`] | Theorem 30: FT distance labels without edge labels |
+//! | [`VertexLabel`] | one `{v} × V` preserver, bit-packed (`O(n^{2−1/2^f} log n)` bits) |
+//! | [`BitReader`], [`BitWriter`] | the label encoding substrate |
+//!
 //! # Examples
 //!
 //! ```

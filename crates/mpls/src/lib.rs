@@ -19,6 +19,15 @@
 //! (the arbitrary BFS tables of a textbook router) the same procedure can
 //! come up empty — that is Figure 1 as an operations incident.
 //!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`MplsNetwork`] | Section 1's deployment sketch (after Afek et al.) |
+//! | [`DualTables`] | the forward + reverse routing tables of a restorable `π` |
+//! | [`MplsNetwork::restore`] | Theorem 2 as a failover operation: splice `π(s, x) ∘ reverse(π(t, x))` |
+//! | [`forward_packet`] | data-plane walk of the two tables |
+//!
 //! # Examples
 //!
 //! ```

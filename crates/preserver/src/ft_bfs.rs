@@ -1,9 +1,10 @@
 //! Preserver construction by replacement-path overlay (Theorems 26 and 31).
 
 use std::collections::HashSet;
+use std::ops::ControlFlow;
 
 use rsp_core::Rpts;
-use rsp_graph::{EdgeId, FaultSet, Graph, Vertex};
+use rsp_graph::{parallel_indexed, EdgeId, FaultSet, Graph, Vertex};
 
 /// A preserver: a subset of `G`'s edges, plus build statistics.
 ///
@@ -64,6 +65,11 @@ impl Preserver {
 ///
 /// For each `(s, F)` pair the full selected tree is overlaid (every tree
 /// edge lies on `π(s, v | F)` for some `v`, and conversely).
+///
+/// Queries are grouped by source and issued through the batched
+/// [`Rpts::for_each_tree`] engine, so fault sets sharing a source also
+/// share the settled search prefix (the overlay is a set union — query
+/// order cannot affect the result).
 pub fn overlay_paths<S: Rpts>(
     scheme: &S,
     queries: impl IntoIterator<Item = (Vertex, FaultSet)>,
@@ -71,11 +77,50 @@ pub fn overlay_paths<S: Rpts>(
     let mut edges = HashSet::new();
     let mut trees = 0;
     let mut scratch = scheme.new_scratch();
+    // Group by source, preserving first-appearance order of sources.
+    let mut order: Vec<Vertex> = Vec::new();
+    let mut by_source: Vec<Vec<FaultSet>> = Vec::new();
     for (s, faults) in queries {
-        let tree = scheme.tree_from_with(s, &faults, &mut scratch);
-        trees += 1;
-        edges.extend(tree.tree_edges());
+        match order.iter().position(|&v| v == s) {
+            Some(i) => by_source[i].push(faults),
+            None => {
+                order.push(s);
+                by_source.push(vec![faults]);
+            }
+        }
     }
+    for (i, &s) in order.iter().enumerate() {
+        scheme.for_each_tree(&[s], &by_source[i], &mut scratch, &mut |_, _, tree| {
+            trees += 1;
+            edges.extend(tree.tree_edges());
+            ControlFlow::Continue(())
+        });
+    }
+    Preserver::new(scheme.graph().n(), edges, trees)
+}
+
+/// [`overlay_paths`] with queries fanned out over a worker pool (one
+/// scheme scratch per worker).
+///
+/// The overlay is a set union, so the result is identical to the
+/// sequential form for every worker count.
+pub fn overlay_paths_par<S: Rpts + Sync>(
+    scheme: &S,
+    queries: impl IntoIterator<Item = (Vertex, FaultSet)>,
+    workers: usize,
+) -> Preserver {
+    let queries: Vec<(Vertex, FaultSet)> = queries.into_iter().collect();
+    let per_query = parallel_indexed(
+        queries.len(),
+        workers,
+        |_| scheme.new_scratch(),
+        |scratch, i| {
+            let (s, faults) = &queries[i];
+            scheme.tree_from_with(*s, faults, scratch).tree_edges().collect::<Vec<EdgeId>>()
+        },
+    );
+    let trees = per_query.len();
+    let edges: HashSet<EdgeId> = per_query.into_iter().flatten().collect();
     Preserver::new(scheme.graph().n(), edges, trees)
 }
 
@@ -131,6 +176,36 @@ pub fn ft_sv_preserver<S: Rpts>(scheme: &S, sources: &[Vertex], f: usize) -> Pre
     let mut scratch = scheme.new_scratch();
     for &s in sources {
         let p = ft_bfs_structure_with(scheme, s, f, &mut scratch);
+        trees += p.trees_computed();
+        edges.extend(p.edges().iter().copied());
+    }
+    Preserver::new(scheme.graph().n(), edges, trees)
+}
+
+/// [`ft_sv_preserver`] with the per-source FT-BFS builds fanned out over a
+/// worker pool — the embarrassingly parallel axis of Theorem 26: each
+/// source's `O(n^f)`-tree enumeration is independent given its own scheme
+/// scratch.
+///
+/// The preserver is a set union, so the result is identical to the
+/// sequential form for every worker count. Work is claimed dynamically,
+/// which matters here: tree counts can differ by orders of magnitude
+/// between sources.
+pub fn ft_sv_preserver_par<S: Rpts + Sync>(
+    scheme: &S,
+    sources: &[Vertex],
+    f: usize,
+    workers: usize,
+) -> Preserver {
+    let per_source = parallel_indexed(
+        sources.len(),
+        workers,
+        |_| scheme.new_scratch(),
+        |scratch, i| ft_bfs_structure_with(scheme, sources[i], f, scratch),
+    );
+    let mut edges = HashSet::new();
+    let mut trees = 0;
+    for p in per_source {
         trees += p.trees_computed();
         edges.extend(p.edges().iter().copied());
     }
@@ -220,6 +295,35 @@ mod tests {
         );
         assert_eq!(p.trees_computed(), 3);
         assert!(p.edge_count() >= g.n() - 1);
+    }
+
+    #[test]
+    fn parallel_preserver_matches_sequential() {
+        let g = generators::connected_gnm(18, 40, 6);
+        let scheme = RandomGridAtw::theorem20(&g, 6).into_scheme();
+        let sources = vec![0, 4, 9, 13, 17];
+        let seq = ft_sv_preserver(&scheme, &sources, 1);
+        for workers in [1, 2, 8] {
+            let par = ft_sv_preserver_par(&scheme, &sources, 1, workers);
+            assert_eq!(par.edges(), seq.edges(), "workers={workers}");
+            assert_eq!(par.trees_computed(), seq.trees_computed(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_overlay_matches_sequential() {
+        let g = generators::petersen();
+        let scheme = RandomGridAtw::theorem20(&g, 2).into_scheme();
+        let queries: Vec<(Vertex, FaultSet)> = (0..g.n())
+            .flat_map(|s| (0..4).map(move |e| (s, FaultSet::single(e))))
+            .chain([(0, FaultSet::empty()), (3, FaultSet::from_edges([1, 8]))])
+            .collect();
+        let seq = overlay_paths(&scheme, queries.iter().cloned());
+        for workers in [1, 2, 8] {
+            let par = overlay_paths_par(&scheme, queries.iter().cloned(), workers);
+            assert_eq!(par.edges(), seq.edges(), "workers={workers}");
+            assert_eq!(par.trees_computed(), seq.trees_computed(), "workers={workers}");
+        }
     }
 
     #[test]

@@ -21,6 +21,18 @@
 //!   perturbation-based comparison showing random tiebreaking escapes the
 //!   bound on the same graph.
 //!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`Preserver`] | Definition 4: `S × T` `f`-FT distance preserver |
+//! | [`overlay_paths`], [`overlay_paths_par`] | the raw overlay primitive behind every Section 4.1 construction |
+//! | [`ft_bfs_structure`] | Theorem 26 with `\|S\| = 1` (FT-BFS structure, stability-driven enumeration) |
+//! | [`ft_sv_preserver`], [`ft_sv_preserver_par`] | Theorem 26 `S × V` preserver (parallel over sources) |
+//! | [`ft_subset_preserver`] | Theorem 31: restorability upgrades `f` to `f + 1` for `S × S` |
+//! | [`verify_preserver`] | Definition 4 checked against ground-truth BFS |
+//! | [`lower_bound`] | Theorem 27 / Appendix B `G_f(d)` family (Figures 2–3) |
+//!
 //! # Examples
 //!
 //! ```
@@ -45,8 +57,8 @@ pub mod lower_bound;
 mod verify;
 
 pub use ft_bfs::{
-    ft_bfs_structure, ft_bfs_structure_with, ft_subset_preserver, ft_sv_preserver, overlay_paths,
-    Preserver,
+    ft_bfs_structure, ft_bfs_structure_with, ft_subset_preserver, ft_sv_preserver,
+    ft_sv_preserver_par, overlay_paths, overlay_paths_par, Preserver,
 };
 pub use verify::{
     translate_faults, verify_preserver, verify_preserver_counting, PairSet, PreserverViolation,

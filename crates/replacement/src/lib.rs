@@ -19,6 +19,20 @@
 //!   benches compare against (BFS-per-fault recompute, and the single-pair
 //!   algorithm run on the full graph per pair).
 //!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`single_pair_replacement_paths`] | Theorem 28 single-pair algorithm (trees + interval sweep) |
+//! | [`ReplacementScratch`] | hot-loop state for Algorithm 1's inner loop: two Dijkstra scratches + the perturbed cost buffers |
+//! | [`subset_replacement_paths`] | **Algorithm 1** (Theorem 29): union-of-two-trees sub-instances |
+//! | [`subset_replacement_paths_par`] | Algorithm 1 with SPT builds and pair sub-instances fanned out over workers |
+//! | [`weighted_single_pair`], [`verify_weighted_restoration_lemma`] | Theorem 11, the weighted restoration lemma |
+//! | [`SourcewiseReplacementPaths`] | Section 1.1 sourcewise setting (`{s} × V`) |
+//! | [`SingleFaultOracle`] | Section 4.3's distance-sensitivity-oracle connection |
+//! | [`NextFree`] | the union-find sweep inside Theorem 28 |
+//! | [`naive_subset_rp`], [`per_pair_subset_rp`] | baselines the benches compare against |
+//!
 //! # Examples
 //!
 //! ```
@@ -55,7 +69,9 @@ pub use single_pair::{
     ReplacementScratch, SinglePairResult,
 };
 pub use sourcewise::SourcewiseReplacementPaths;
-pub use subset_rp::{subset_replacement_paths, PairReplacements, SubsetRpResult};
+pub use subset_rp::{
+    subset_replacement_paths, subset_replacement_paths_par, PairReplacements, SubsetRpResult,
+};
 pub use unionfind::NextFree;
 pub use weighted::{
     verify_weighted_restoration_lemma, weighted_single_pair, RestorationLemmaStats, WeightedEntry,

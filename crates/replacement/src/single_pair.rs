@@ -24,7 +24,7 @@
 
 use rsp_arith::PathCost;
 use rsp_core::RandomGridAtw;
-use rsp_graph::{EdgeId, Graph, Path, SearchScratch, Vertex};
+use rsp_graph::{DirectedCosts, EdgeId, Graph, Path, SearchScratch, Vertex};
 
 use crate::unionfind::NextFree;
 
@@ -32,15 +32,22 @@ use crate::unionfind::NextFree;
 /// computations (two shortest-path trees per pair).
 ///
 /// Algorithm 1 and the all-pairs oracle run the single-pair routine once
-/// per source pair — `O(σ²)` to `O(n²)` times — so the two Dijkstra
-/// scratches are hoisted here and reused across
-/// [`single_pair_replacement_paths_with`] calls.
+/// per source pair — `O(σ²)` to `O(n²)` times — so all per-pair buffers
+/// are hoisted here and reused across
+/// [`single_pair_replacement_paths_with`] calls: the two Dijkstra
+/// scratches *and* the two `O(m)` perturbed cost vectors (regenerated in
+/// place per pair via [`RandomGridAtw::theorem20_costs_into`], never
+/// reallocated).
 #[derive(Debug, Default)]
 pub struct ReplacementScratch {
     /// Scratch for the tree rooted at the pair's source.
     from_s: SearchScratch<u128>,
     /// Scratch for the tree rooted at the pair's target.
     from_t: SearchScratch<u128>,
+    /// Perturbed forward (canonical-direction) edge costs.
+    fwd: Vec<u128>,
+    /// Perturbed backward edge costs.
+    bwd: Vec<u128>,
 }
 
 impl ReplacementScratch {
@@ -54,6 +61,8 @@ impl ReplacementScratch {
         ReplacementScratch {
             from_s: SearchScratch::with_capacity(n),
             from_t: SearchScratch::with_capacity(n),
+            fwd: Vec::new(),
+            bwd: Vec::new(),
         }
     }
 }
@@ -166,10 +175,14 @@ pub fn single_pair_replacement_paths_with(
     if s == t {
         return Some(SinglePairResult { s, t, path: Path::trivial(s), entries: Vec::new() });
     }
-    let scheme = RandomGridAtw::theorem20(g, seed).into_scheme();
+    // Regenerate the Theorem 20 perturbation into the scratch-held cost
+    // buffers: same weights as building an `ExactScheme`, none of the
+    // per-pair allocations (see ReplacementScratch docs).
+    RandomGridAtw::theorem20_costs_into(g, seed, &mut scratch.fwd, &mut scratch.bwd);
+    let costs = DirectedCosts::new(&scratch.fwd, &scratch.bwd);
     let empty = rsp_graph::FaultSet::empty();
-    scheme.spt_into(s, &empty, &mut scratch.from_s);
-    scheme.spt_into(t, &empty, &mut scratch.from_t);
+    rsp_graph::dijkstra_into(g, s, &empty, costs, &mut scratch.from_s);
+    rsp_graph::dijkstra_into(g, t, &empty, costs, &mut scratch.from_t);
     let (spt_s, spt_t) = (&scratch.from_s, &scratch.from_t);
     let path = spt_s.path_to(t)?;
     let verts = path.vertices();

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use rsp_core::RandomGridAtw;
-use rsp_graph::{EdgeId, Graph, Path, SearchScratch, Vertex};
+use rsp_graph::{dijkstra_batch_par, parallel_indexed, EdgeId, FaultSet, Graph, Path, Vertex};
 
 use crate::single_pair::{
     single_pair_replacement_paths_with, ReplacementEntry, ReplacementScratch, SinglePairResult,
@@ -125,41 +125,65 @@ impl SubsetRpResult {
 /// assert!(pair.entries().iter().all(|e| e.dist == Some(4)));
 /// ```
 pub fn subset_replacement_paths(g: &Graph, sources: &[Vertex], seed: u64) -> SubsetRpResult {
+    subset_replacement_paths_par(g, sources, seed, 1)
+}
+
+/// [`subset_replacement_paths`] with both phases fanned out over a worker
+/// pool: the per-source SPT builds run through
+/// [`rsp_graph::dijkstra_batch_par`], and the `O(σ²)` per-pair
+/// sub-instances are distributed across workers, each holding its own
+/// [`ReplacementScratch`].
+///
+/// Output is identical to the sequential form for every worker count
+/// (`workers = 1` runs inline on the calling thread).
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn subset_replacement_paths_par(
+    g: &Graph,
+    sources: &[Vertex],
+    seed: u64,
+    workers: usize,
+) -> SubsetRpResult {
     for &s in sources {
         assert!(s < g.n(), "source {s} out of range");
     }
     // Step 1–3 of Algorithm 1: restorable scheme + one outgoing SPT per
-    // source. One Dijkstra scratch serves every source.
+    // source, fanned out over the worker pool (one search scratch each).
     let scheme = RandomGridAtw::theorem20(g, seed).into_scheme();
-    let empty = rsp_graph::FaultSet::empty();
-    let mut spt_scratch = SearchScratch::<u128>::with_capacity(g.n());
-    let tree_edges: Vec<Vec<EdgeId>> = sources
-        .iter()
-        .map(|&s| {
-            scheme.spt_into(s, &empty, &mut spt_scratch);
-            spt_scratch.tree_edges().collect()
-        })
-        .collect();
+    let empty = [FaultSet::empty()];
+    let tree_edges: Vec<Vec<EdgeId>> = dijkstra_batch_par(
+        g,
+        sources,
+        &empty,
+        || scheme.directed_costs(),
+        workers,
+        |_, _, result| result.tree_edges().collect::<Vec<EdgeId>>(),
+    )
+    .into_iter()
+    .map(|mut row| row.pop().expect("one fault set per source"))
+    .collect();
 
-    // Step 4–5: per pair, solve on the union of the two trees, reusing one
-    // pair of tree scratches across all O(σ²) sub-instances.
-    let mut pair_scratch = ReplacementScratch::with_capacity(g.n());
-    let mut pairs = Vec::new();
-    for i in 0..sources.len() {
-        for j in (i + 1)..sources.len() {
+    // Step 4–5: per pair, solve on the union of the two trees. Pairs are
+    // independent, so they fan out too — one ReplacementScratch per worker
+    // reused across that worker's sub-instances.
+    let index_pairs: Vec<(usize, usize)> = (0..sources.len())
+        .flat_map(|i| ((i + 1)..sources.len()).map(move |j| (i, j)))
+        .filter(|&(i, j)| sources[i] != sources[j])
+        .collect();
+    let pairs = parallel_indexed(
+        index_pairs.len(),
+        workers,
+        |_| ReplacementScratch::with_capacity(g.n()),
+        |pair_scratch, p| {
+            let (i, j) = index_pairs[p];
             let (s, t) = (sources[i], sources[j]);
-            if s == t {
-                continue;
-            }
             let union: Vec<EdgeId> =
                 tree_edges[i].iter().chain(tree_edges[j].iter()).copied().collect();
             let u_graph = g.edge_subgraph(union);
             let pair_seed = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + (i * 101 + j) as u64);
-            let Some(sub) =
-                single_pair_replacement_paths_with(&u_graph, s, t, pair_seed, &mut pair_scratch)
-            else {
-                continue; // disconnected pair
-            };
+            let sub = single_pair_replacement_paths_with(&u_graph, s, t, pair_seed, pair_scratch)?;
             // Translate edge ids from the union graph back to G.
             let entries = sub
                 .entries()
@@ -171,10 +195,10 @@ pub fn subset_replacement_paths(g: &Graph, sources: &[Vertex], seed: u64) -> Sub
                 })
                 .collect();
             let result = SinglePairResult::from_parts(s, t, sub.path().clone(), entries);
-            pairs.push(PairReplacements::new(s, t, result));
-        }
-    }
-    SubsetRpResult::from_pairs(pairs)
+            Some(PairReplacements::new(s, t, result))
+        },
+    );
+    SubsetRpResult::from_pairs(pairs.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -240,6 +264,23 @@ mod tests {
         for p in fast.iter() {
             let (s, t) = p.pair();
             assert_eq!(p.base_dist(), naive.pair(s, t).unwrap().base_dist());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_worker_counts() {
+        let g = generators::connected_gnm(24, 52, 11);
+        let sources = [0, 5, 11, 17, 23];
+        let seq = subset_replacement_paths(&g, &sources, 6);
+        for workers in [2, 8] {
+            let par = subset_replacement_paths_par(&g, &sources, 6, workers);
+            assert_eq!(par.pair_count(), seq.pair_count(), "workers={workers}");
+            for p in seq.iter() {
+                let (s, t) = p.pair();
+                let q = par.pair(s, t).expect("same pairs answered");
+                assert_eq!(q.path(), p.path(), "workers={workers} pair ({s},{t})");
+                assert_eq!(q.entries(), p.entries(), "workers={workers} pair ({s},{t})");
+            }
         }
     }
 

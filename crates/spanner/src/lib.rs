@@ -17,6 +17,14 @@
 //! stretch analysis routes any replacement path through the first and last
 //! clustered vertices' centers, paying `+2` at each end.
 //!
+//! # Paper cross-reference
+//!
+//! | Module / item | Paper (PAPER.md) |
+//! |---|---|
+//! | [`Spanner`], [`ft_additive_spanner`] | Definition 6 / Lemma 32: clustering + `C × C` subset preserver |
+//! | [`theorem33_sigma`] | Theorem 33's center-count balance (Theorem 7 sizes) |
+//! | [`verify_spanner_stretch`] | the `+4` stretch guarantee, checked against ground truth |
+//!
 //! # Examples
 //!
 //! ```

@@ -6,7 +6,10 @@
 //!
 //! * [`arith`] — exact arithmetic ([`arith::BigInt`], path costs);
 //! * [`graph`] — CSR graphs, BFS, exact-weight Dijkstra, fault sets,
-//!   routing tables, generators;
+//!   routing tables, generators, and the query engine: reusable
+//!   [`graph::SearchScratch`] state, batched `sources × fault_sets`
+//!   queries with shared search prefixes ([`graph::dijkstra_batch`]), and
+//!   worker-pool fan-out ([`graph::dijkstra_batch_par`]);
 //! * [`core`] — **the paper's contribution**: antisymmetric tiebreaking
 //!   weight functions (Theorems 20, 23, Corollary 22), the induced
 //!   consistent/stable/restorable schemes (Theorem 19), restoration by
@@ -23,6 +26,11 @@
 //! * [`dag`] — the Section 1.2 future-work direction: DAG substrate and
 //!   the empirical DAG restoration experiments;
 //! * [`mpls`] — the motivating MPLS failover application.
+//!
+//! Each crate's own documentation opens with a **paper cross-reference
+//! table** mapping its modules to the theorems, definitions, and sections
+//! of PAPER.md; README.md's "Architecture" section maps the crate
+//! dependency structure and the query-engine design.
 //!
 //! # Quickstart
 //!

@@ -216,7 +216,7 @@ pub mod collection {
 
     use crate::strategy::Strategy;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
