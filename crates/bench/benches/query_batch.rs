@@ -5,15 +5,30 @@
 //! early frontier) versus the worker-pool fan-out (`dijkstra_batch_par`).
 //!
 //! The workload mirrors the restorability/preserver access pattern: every
-//! query batch is `sources × (∅ + single faults spread across the edge
-//! set)` on a tie-rich grid under Theorem 20 perturbed `u128` costs, plus
-//! the unweighted BFS layer. `per_query` is the `indexed_reuse` engine of
-//! `BENCH_2.json`, so the two trajectories are directly comparable.
+//! query batch is `sources × (∅ + fault sets)` on a tie-rich grid under
+//! Theorem 20 perturbed `u128` costs, plus the unweighted BFS layer.
+//! Fault-set families cover both regimes:
+//!
+//! * **singles** spread across the edge set (`8x33` groups) — the PR 3
+//!   baseline workload, directly diffable against `BENCH_3.json`;
+//! * **clustered `f = 2, 3` sets** (`f2`/`f3` groups) — the Bodwin–Wang
+//!   (arXiv:2309.07964) multi-fault trade-off regime: each set's edges sit
+//!   in one small neighborhood, so `prefix_len` is governed by the
+//!   cluster's distance from the source rather than by any single edge.
+//!
+//! `per_query` is the `indexed_reuse` engine of `BENCH_2.json`;
+//! `batched` is the batch engine with checkpointed resume (the default
+//! `CheckpointMode::Auto`), `batched_nockpt` pins `CheckpointMode::Never`
+//! so the checkpoint win is its own diffable number. After the timed rows
+//! each weighted group prints its [`rsp_graph::BatchStats`] — how many
+//! queries the baseline answered outright, how many restored a checkpoint,
+//! and how many relaxations the replay path re-executed — so prefix-
+//! sharing efficacy is measured, not inferred.
 //!
 //! Append results to the repo's `BENCH_<n>.json` trajectory with:
 //!
 //! ```sh
-//! CRITERION_JSON_PATH="$PWD/BENCH_3.json" \
+//! CRITERION_JSON_PATH="$PWD/BENCH_4.json" \
 //!   cargo bench -p rsp_bench --bench query_batch
 //! ```
 
@@ -23,7 +38,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rsp_core::RandomGridAtw;
 use rsp_graph::{
     bfs_batch, bfs_batch_par, bfs_into, dijkstra_batch, dijkstra_batch_par, generators,
-    BatchScratch, FaultSet, Graph, SearchScratch, Vertex,
+    BatchScratch, CheckpointMode, FaultSet, Graph, SearchScratch, Vertex,
 };
 
 /// `∅` plus `queries` single faults spread across the edge set: most are
@@ -34,19 +49,58 @@ fn fault_batch(g: &Graph, queries: usize) -> Vec<FaultSet> {
         .collect()
 }
 
-fn bench_weighted(c: &mut Criterion) {
-    let g = generators::grid(16, 16);
-    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
-    let sources: Vec<Vertex> = (0..8).map(|i| i * g.n() / 8).collect();
-    let faults = fault_batch(&g, 32);
+/// `∅` plus `count` clustered `f`-edge fault sets, each clustered around a
+/// center vertex spread across the graph: a correlated failure (a router
+/// and its uplinks) rather than `f` independent ones. Deterministic so
+/// runs are diffable.
+fn clustered_fault_batch(g: &Graph, f: usize, count: usize) -> Vec<FaultSet> {
+    std::iter::once(FaultSet::empty())
+        .chain((0..count).map(|i| {
+            let center = i * g.n() / count;
+            // Grow the cluster outward from the center in discovery
+            // order until it holds f distinct edges.
+            let mut edges: Vec<usize> = Vec::with_capacity(f);
+            let mut cluster = vec![center];
+            let mut next = 0;
+            while edges.len() < f && next < cluster.len() {
+                let u = cluster[next];
+                next += 1;
+                for (v, e) in g.neighbors(u) {
+                    if edges.len() >= f {
+                        break;
+                    }
+                    if !edges.contains(&e) {
+                        edges.push(e);
+                        cluster.push(v);
+                    }
+                }
+            }
+            FaultSet::from_edges(edges)
+        }))
+        .collect()
+}
 
-    let mut group = c.benchmark_group("query_batch/u128_grid16x16_8x33");
+/// One weighted group: `per_query` vs `batched` (checkpoints on, Auto) vs
+/// `batched_nockpt` (checkpoints off), then a stats print for the
+/// checkpointed configuration. `parallel_workers` adds `batched_par<w>`
+/// rows (the singles family keeps them for BENCH_3 diffability).
+fn bench_weighted_family(
+    c: &mut Criterion,
+    label: &str,
+    g: &Graph,
+    sources: &[Vertex],
+    faults: &[FaultSet],
+    parallel_workers: &[usize],
+) {
+    let scheme = RandomGridAtw::theorem20(g, 42).into_scheme();
+
+    let mut group = c.benchmark_group(label);
     let mut single = SearchScratch::<u128>::with_capacity(g.n());
     group.bench_function("per_query", |b| {
         b.iter(|| {
             let mut reached = 0usize;
-            for &s in &sources {
-                for f in &faults {
+            for &s in sources {
+                for f in faults {
                     scheme.spt_into(s, f, &mut single);
                     reached += single.reachable_count();
                 }
@@ -58,27 +112,32 @@ fn bench_weighted(c: &mut Criterion) {
     group.bench_function("batched", |b| {
         b.iter(|| {
             let mut reached = 0usize;
-            dijkstra_batch(
-                &g,
-                &sources,
-                &faults,
-                scheme.directed_costs(),
-                &mut batch,
-                |_, _, r| {
-                    reached += r.reachable_count();
-                    ControlFlow::Continue(())
-                },
-            );
+            dijkstra_batch(g, sources, faults, scheme.directed_costs(), &mut batch, |_, _, r| {
+                reached += r.reachable_count();
+                ControlFlow::Continue(())
+            });
             reached
         })
     });
-    for workers in [2, 4] {
+    let mut nockpt =
+        BatchScratch::<u128>::with_capacity(g.n()).with_checkpoint_mode(CheckpointMode::Never);
+    group.bench_function("batched_nockpt", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            dijkstra_batch(g, sources, faults, scheme.directed_costs(), &mut nockpt, |_, _, r| {
+                reached += r.reachable_count();
+                ControlFlow::Continue(())
+            });
+            reached
+        })
+    });
+    for &workers in parallel_workers {
         group.bench_function(format!("batched_par{workers}"), |b| {
             b.iter(|| {
                 dijkstra_batch_par(
-                    &g,
-                    &sources,
-                    &faults,
+                    g,
+                    sources,
+                    faults,
                     || scheme.directed_costs(),
                     workers,
                     |_, _, r| r.reachable_count(),
@@ -90,6 +149,37 @@ fn bench_weighted(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // One clean pass per configuration so the printed stats describe a
+    // single batch, not an iteration-count multiple.
+    batch.reset_stats();
+    dijkstra_batch(g, sources, faults, scheme.directed_costs(), &mut batch, |_, _, _| {
+        ControlFlow::Continue(())
+    });
+    println!("{label}/batched stats: {}", batch.stats());
+    nockpt.reset_stats();
+    dijkstra_batch(g, sources, faults, scheme.directed_costs(), &mut nockpt, |_, _, _| {
+        ControlFlow::Continue(())
+    });
+    println!("{label}/batched_nockpt stats: {}", nockpt.stats());
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let sources: Vec<Vertex> = (0..8).map(|i| i * g.n() / 8).collect();
+    let faults = fault_batch(&g, 32);
+    bench_weighted_family(c, "query_batch/u128_grid16x16_8x33", &g, &sources, &faults, &[2, 4]);
+}
+
+/// The Bodwin–Wang multi-fault regime: clustered `f = 2, 3` fault sets.
+fn bench_weighted_multifault(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let sources: Vec<Vertex> = (0..8).map(|i| i * g.n() / 8).collect();
+    for f in [2usize, 3] {
+        let faults = clustered_fault_batch(&g, f, 16);
+        let label = format!("query_batch/u128_grid16x16_f{f}_8x17");
+        bench_weighted_family(c, &label, &g, &sources, &faults, &[]);
+    }
 }
 
 fn bench_bfs(c: &mut Criterion) {
@@ -140,6 +230,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_weighted, bench_bfs
+    targets = bench_weighted, bench_weighted_multifault, bench_bfs
 }
 criterion_main!(benches);

@@ -158,7 +158,9 @@ pub trait Rpts {
     /// and preserver builds. The default loops over
     /// [`Rpts::tree_from_with`]; schemes backed by the batch query engine
     /// override it to share the settled search prefix between fault sets
-    /// that agree on the early frontier (see [`rsp_graph::dijkstra_batch`]).
+    /// that agree on the early frontier, resuming from mid-run baseline
+    /// checkpoints where the engine captured them (see
+    /// [`rsp_graph::dijkstra_batch`] and [`rsp_graph::CheckpointMode`]).
     /// Either way the trees visited are identical to per-query
     /// [`Rpts::tree_from`] calls.
     fn for_each_tree(
@@ -274,7 +276,10 @@ impl<C: PathCost + 'static> ExactScheme<C> {
     /// The clone-free hot path: stored per-direction costs are borrowed
     /// straight into the relaxation (no [`ExactScheme::edge_cost`] clone),
     /// and results — costs, hops, parents, paths, tree edges — are read
-    /// directly from the scratch without materializing a tree.
+    /// directly from the scratch without materializing a tree. The search
+    /// runs on the heap engine the cost type's
+    /// [`rsp_arith::PathCost::HEAP`] policy selects (indexed decrease-key
+    /// for `BigInt`, inline-key for the integer schemes).
     ///
     /// # Examples
     ///

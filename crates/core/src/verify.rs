@@ -140,7 +140,9 @@ fn all_source_trees<S: Rpts>(
 ///
 /// Queries go through the batched [`Rpts::for_each_tree`] engine; trees
 /// for one source are computed for all fault sets together, sharing the
-/// settled search prefix where the fault sets allow.
+/// settled search prefix where the fault sets allow (resuming from
+/// mid-run checkpoints when the batch engine captured them — see
+/// `rsp_graph::CheckpointMode`).
 ///
 /// # Errors
 ///

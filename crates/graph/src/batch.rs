@@ -13,11 +13,23 @@
 //! * for each fault set `F`, the *prefix length* `k = min_{e ∈ F}
 //!   first_examined(e)` bounds how many settle steps of the baseline are
 //!   provably identical in `G \ F`; the query **resumes** from that prefix
-//!   (copy `k` settled vertices, replay only their frontier relaxations,
-//!   continue the search) instead of starting over;
+//!   instead of starting over;
+//! * the weighted baseline is additionally **checkpointed** at a few
+//!   geometric settle depths (`n/8`, `n/4`, `n/2`): the open-frontier
+//!   state — tentative keys and the active heap — is snapshotted mid-run.
+//!   A resume without a checkpoint must rebuild the step-`k` frontier by
+//!   replaying every prefix relaxation (`O(prefix edges)`); with the
+//!   deepest checkpoint at depth `d ≤ k`, the frontier starts from the
+//!   snapshot and only the `d..k` suffix is replayed — `O(frontier +
+//!   suffix edges)`. [`CheckpointMode`] and a clone-cost guard
+//!   (heavyweight costs on small graphs skip snapshots entirely) keep the
+//!   capture overhead below what it saves;
 //! * fault sets the baseline never examines (`k` = the whole settle order)
 //!   are answered by the baseline directly, with **zero** additional
-//!   traversal — the common case for local faults far from the source.
+//!   traversal — the common case for local faults far from the source;
+//! * [`BatchStats`] counts how each query was answered (baseline /
+//!   checkpoint / replay / full search) and how many relaxations the
+//!   replay path re-executed, so prefix-sharing efficacy is measurable.
 //!
 //! Results are **byte-identical** to the single-query engine
 //! ([`crate::bfs_into`] / [`crate::dijkstra_into`]): same distances, costs,
@@ -68,17 +80,29 @@
 //! assert!(costs[0][1].unwrap() > 10); // edge 0 failed: the long way round
 //! ```
 
+use std::cmp::Reverse;
+use std::fmt;
 use std::ops::ControlFlow;
 
-use rsp_arith::PathCost;
+use rsp_arith::{HeapKind, PathCost};
 
 use crate::fault::FaultSet;
 use crate::graph::{EdgeId, Graph, Vertex};
 use crate::pool::parallel_indexed;
 use crate::scratch::{
-    bfs_observed, bfs_run, dijkstra_observed, dijkstra_run, relax, EdgeCostSource, NoObserver,
-    SearchObserver, SearchScratch, SETTLED,
+    bfs_observed, bfs_run, dijkstra_observed, dijkstra_run, dijkstra_seed, relax, relax_inline,
+    sift_up, EdgeCostSource, NoObserver, SearchObserver, SearchScratch, OPEN, SETTLED,
 };
+
+/// Checkpoints shallower than this many settle steps are not worth the
+/// snapshot: the replay resume already handles tiny prefixes in-cache.
+const MIN_CHECKPOINT_DEPTH: usize = 8;
+
+/// Under [`CheckpointMode::Auto`], graphs smaller than this skip
+/// checkpointing when the cost type's clone allocates
+/// ([`HeapKind::Indexed`] policy): on micro-graphs the per-vertex cost
+/// clones of a snapshot exceed the replay work they would save.
+const HEAVY_SNAPSHOT_MIN_N: usize = 512;
 
 /// Forwards an [`EdgeCostSource`] by mutable reference, so one cost source
 /// instance can serve every query of a batch.
@@ -88,6 +112,11 @@ impl<C: PathCost, T: EdgeCostSource<C>> EdgeCostSource<C> for ByRef<'_, T> {
     #[inline]
     fn accumulate(&mut self, base: &C, e: EdgeId, from: Vertex, to: Vertex, out: &mut C) {
         self.0.accumulate(base, e, from, to, out);
+    }
+
+    #[inline]
+    fn compute(&mut self, base: &C, e: EdgeId, from: Vertex, to: Vertex) -> C {
+        self.0.compute(base, e, from, to)
     }
 }
 
@@ -113,6 +142,104 @@ impl SearchObserver for Recorder<'_> {
     }
 }
 
+/// When the weighted batch engine snapshots baseline search state for
+/// checkpointed resume.
+///
+/// The default, [`CheckpointMode::Auto`], checkpoints whenever the
+/// snapshot is cheap relative to the replay it replaces: always for
+/// register-copy costs ([`HeapKind::InlineKey`] policy), and only on
+/// graphs of at least `512` vertices for allocating costs
+/// ([`HeapKind::Indexed`], i.e. [`rsp_arith::BigInt`]) — on micro-graphs
+/// the per-vertex cost clones of a snapshot cost more than they save.
+/// `Always` / `Never` override the guard (the property suite uses both to
+/// pin checkpointed and checkpoint-free resume against each other).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Checkpoint unless the cost type's clone is heavyweight and the
+    /// graph is small (the guard described above).
+    #[default]
+    Auto,
+    /// Checkpoint whenever a depth is reachable, guard ignored.
+    Always,
+    /// Never checkpoint; every resume uses the relaxation-replay path.
+    Never,
+}
+
+/// Counters describing how a batch's queries were answered; read them via
+/// [`BatchScratch::stats`] after [`bfs_batch`] / [`dijkstra_batch`].
+///
+/// Counts accumulate across batch calls on the same scratch (so a bench
+/// can total over iterations); [`BatchScratch::reset_stats`] zeroes them.
+/// The worker-pool variants own their scratches internally and do not
+/// expose stats.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Total queries answered.
+    pub queries: usize,
+    /// Queries whose fault set the baseline never examined: answered by
+    /// the baseline run outright, zero additional traversal.
+    pub baseline_answered: usize,
+    /// Queries resumed by restoring a mid-run checkpoint and continuing
+    /// the search (weighted only).
+    pub checkpoint_resumed: usize,
+    /// Queries resumed by copying the settled prefix and replaying its
+    /// frontier relaxations (no checkpoint at or before the divergence
+    /// step, or checkpointing disabled).
+    pub prefix_resumed: usize,
+    /// Queries with a fault incident to the source's first settle step:
+    /// nothing to reuse, full search from scratch.
+    pub full_searches: usize,
+    /// Edge relaxations re-executed by the replay path (the work
+    /// checkpointed resume exists to avoid).
+    pub replayed_relaxations: usize,
+    /// Checkpoints captured during baseline runs.
+    pub checkpoints_captured: usize,
+}
+
+impl BatchStats {
+    /// Queries that reused at least the full baseline or a prefix of it
+    /// (everything except full searches).
+    pub fn reused(&self) -> usize {
+        self.queries - self.full_searches
+    }
+}
+
+impl fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queries: {} baseline, {} checkpoint-resumed, {} replay-resumed, \
+             {} full; {} relaxations replayed, {} checkpoints captured",
+            self.queries,
+            self.baseline_answered,
+            self.checkpoint_resumed,
+            self.prefix_resumed,
+            self.full_searches,
+            self.replayed_relaxations,
+            self.checkpoints_captured,
+        )
+    }
+}
+
+/// A snapshot of the baseline's *open frontier* after `depth` settle
+/// steps: everything a resume needs to rebuild the search state at a later
+/// step without replaying the relaxations of the first `depth` settles
+/// (settled state is copied from the baseline's final arrays instead).
+#[derive(Clone, Debug)]
+struct Checkpoint<C> {
+    /// Settle steps completed when the snapshot was taken.
+    depth: usize,
+    /// `(vertex, tentative key, parent, hops)` per discovered-but-open
+    /// vertex, in discovery order.
+    open: Vec<(Vertex, C, (Vertex, EdgeId), u32)>,
+    /// Indexed-heap snapshot (vertex ids in heap order); unused under the
+    /// inline-key engine.
+    heap: Vec<Vertex>,
+    /// Inline-key heap snapshot, stale entries included; unused under the
+    /// indexed engine.
+    lazy: Vec<(C, Vertex)>,
+}
+
 /// Reusable state for one source's multi-fault query batch.
 ///
 /// Holds the instrumented fault-free baseline run plus a second
@@ -136,6 +263,13 @@ pub struct BatchScratch<C = u32> {
     /// Per edge: the settle step at which the baseline first examines it,
     /// or `u32::MAX` if it never does.
     first_examined: Vec<u32>,
+    /// Mid-run baseline snapshots for the current source, ascending by
+    /// depth (weighted baselines only).
+    checkpoints: Vec<Checkpoint<C>>,
+    /// Checkpoint capture policy.
+    mode: CheckpointMode,
+    /// How queries have been answered so far (cumulative).
+    stats: BatchStats,
 }
 
 impl<C: PathCost> Default for BatchScratch<C> {
@@ -154,6 +288,9 @@ impl<C: PathCost> BatchScratch<C> {
             ties_prefix: Vec::new(),
             reach_after: Vec::new(),
             first_examined: Vec::new(),
+            checkpoints: Vec::new(),
+            mode: CheckpointMode::default(),
+            stats: BatchStats::default(),
         }
     }
 
@@ -166,7 +303,80 @@ impl<C: PathCost> BatchScratch<C> {
             ties_prefix: Vec::with_capacity(n + 1),
             reach_after: Vec::with_capacity(n + 1),
             first_examined: Vec::new(),
+            checkpoints: Vec::new(),
+            mode: CheckpointMode::default(),
+            stats: BatchStats::default(),
         }
+    }
+
+    /// Sets the checkpoint capture policy (see [`CheckpointMode`]);
+    /// builder-style companion of [`BatchScratch::set_checkpoint_mode`].
+    pub fn with_checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the checkpoint capture policy for subsequent batch calls.
+    pub fn set_checkpoint_mode(&mut self, mode: CheckpointMode) {
+        self.mode = mode;
+    }
+
+    /// Forces the heap engine for both the baseline and resumed searches,
+    /// or restores the automatic choice with `None` (see
+    /// [`SearchScratch::set_heap_kind`]). The two inner scratches always
+    /// share one choice: a checkpoint snapshots whichever heap the
+    /// baseline ran on, and the resume must restore onto the same engine.
+    pub fn set_heap_kind(&mut self, kind: Option<HeapKind>) {
+        self.baseline.set_heap_kind(kind);
+        self.resume.set_heap_kind(kind);
+    }
+
+    /// Builder-style companion of [`BatchScratch::set_heap_kind`].
+    pub fn with_heap_kind(mut self, kind: HeapKind) -> Self {
+        self.set_heap_kind(Some(kind));
+        self
+    }
+
+    /// The current checkpoint capture policy.
+    pub fn checkpoint_mode(&self) -> CheckpointMode {
+        self.mode
+    }
+
+    /// How queries have been answered so far (cumulative across batch
+    /// calls on this scratch).
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// Zeroes the [`BatchScratch::stats`] counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = BatchStats::default();
+    }
+
+    /// Whether the current mode and guard allow checkpointing on `g`.
+    fn checkpoints_enabled(&self, g: &Graph) -> bool {
+        match self.mode {
+            CheckpointMode::Always => true,
+            CheckpointMode::Never => false,
+            // Auto: a snapshot clones one cost per discovered vertex, so
+            // skip it when clones allocate (indexed policy) and the graph
+            // is too small for the saved replay to pay for them.
+            CheckpointMode::Auto => C::HEAP == HeapKind::InlineKey || g.n() >= HEAVY_SNAPSHOT_MIN_N,
+        }
+    }
+
+    /// The settle depths worth checkpointing for an `n`-vertex graph:
+    /// geometric (`n/8`, `n/4`, `n/2`), ascending, deduplicated, and
+    /// deep enough to beat the replay path.
+    fn checkpoint_depths(n: usize) -> impl Iterator<Item = usize> {
+        let mut prev = 0usize;
+        [n / 8, n / 4, n / 2].into_iter().filter(move |&d| {
+            let take = d >= MIN_CHECKPOINT_DEPTH && d > prev;
+            if take {
+                prev = d;
+            }
+            take
+        })
     }
 
     /// Resets the per-source instrumentation ahead of a baseline run.
@@ -176,6 +386,38 @@ impl<C: PathCost> BatchScratch<C> {
         self.ties_prefix.push(false);
         self.reach_after.clear();
         self.reach_after.push(1);
+        self.checkpoints.clear();
+    }
+
+    /// Snapshots the baseline's current search state as a checkpoint at
+    /// `depth` settle steps.
+    fn capture_checkpoint(&mut self, depth: usize) {
+        let base = &self.baseline;
+        self.checkpoints.push(Checkpoint {
+            depth,
+            // Only the open frontier: a resume copies settled state from
+            // the baseline's final arrays, never from a snapshot, so
+            // settled records would be dead weight (`O(frontier)` clones
+            // per checkpoint, not `O(discovered)`).
+            open: base
+                .touched
+                .iter()
+                .filter(|&&v| base.heap_pos[v] != SETTLED)
+                .map(|&v| (v, base.key[v].clone(), base.parent[v], base.hops[v]))
+                .collect(),
+            heap: base.heap.clone(),
+            // Live entries only (the one whose cost matches the current
+            // tentative key, per open vertex): stale entries would be
+            // skipped at pop anyway, and cloning them would make the
+            // snapshot O(relaxations so far) instead of O(frontier).
+            lazy: base
+                .lazy
+                .iter()
+                .filter(|Reverse((c, v))| c == &base.key[*v])
+                .map(|Reverse(entry)| entry.clone())
+                .collect(),
+        });
+        self.stats.checkpoints_captured += 1;
     }
 
     /// Derives `first_examined` from the recorded settle order.
@@ -228,11 +470,21 @@ impl<C: PathCost> BatchScratch<C> {
         bfs_run(g, faults, out, &mut NoObserver);
     }
 
-    /// Resumes a Dijkstra query against `faults` from the `k`-step
-    /// baseline prefix: the `k` settled vertices are copied verbatim,
-    /// their relaxations toward *open* vertices are replayed in original
-    /// order (rebuilding the heap frontier), and the search continues with
-    /// `faults` active.
+    /// Resumes a Dijkstra query against `faults` that diverges from the
+    /// baseline at settle step `k`, picking the cheapest sound route:
+    ///
+    /// 1. `k = 0` (fault incident to the source's first step): full
+    ///    search, nothing to reuse;
+    /// 2. otherwise the `k` settled vertices are copied verbatim, and the
+    ///    heap frontier at step `k` is rebuilt by replaying the prefix's
+    ///    relaxations toward *open* vertices in original settle order.
+    ///    With a checkpoint at depth `d ≤ k`, the frontier *starts from
+    ///    the snapshot* — open tentative state and heap as of step `d` —
+    ///    and only the `d..k` suffix is replayed: `O(prefix copy +
+    ///    frontier + suffix edges)` instead of `O(prefix copy + prefix
+    ///    edges)`. Without one, the replay covers `0..k`.
+    ///
+    /// Either way the search then continues with `faults` active.
     fn resume_dijkstra<F: EdgeCostSource<C>>(
         &mut self,
         g: &Graph,
@@ -242,6 +494,7 @@ impl<C: PathCost> BatchScratch<C> {
     ) {
         if k == 0 {
             // A faulted edge is incident to the source: nothing to reuse.
+            self.stats.full_searches += 1;
             dijkstra_observed(
                 g,
                 self.baseline.source,
@@ -251,6 +504,11 @@ impl<C: PathCost> BatchScratch<C> {
                 &mut NoObserver,
             );
             return;
+        }
+        let ci = self.checkpoints.iter().rposition(|cp| cp.depth <= k);
+        match ci {
+            Some(_) => self.stats.checkpoint_resumed += 1,
+            None => self.stats.prefix_resumed += 1,
         }
         let base = &self.baseline;
         let out = &mut self.resume;
@@ -265,27 +523,103 @@ impl<C: PathCost> BatchScratch<C> {
             out.heap_pos[v] = SETTLED;
             out.touched.push(v);
         }
-        // Replay the prefix's relaxations toward open vertices, in the
-        // original order, to rebuild tentative keys and the heap. Edges
-        // between two prefix vertices are fully resolved (any tie they
-        // produced is in `ties_prefix[k]`) and are skipped. No faulted
-        // edge is examined here: each has `first_examined ≥ k`, so neither
-        // endpoint settled before step `k`.
-        let SearchScratch { stamp, key, parent, hops, heap, heap_pos, touched, cand, ties, .. } =
-            out;
-        for &u in &self.settle_order[..k] {
+        // Seed the open frontier from the deepest usable checkpoint: its
+        // records restore every vertex that was discovered-but-open at
+        // depth `d` and is still open at step `k` (records of vertices
+        // settled by `k` are recognizable by their fresh stamp and
+        // skipped — the settled copy above is already their final state).
+        // Checkpoint heap entries of settled vertices are dropped the
+        // same way; the rebuilt heap realizes the same `(key, id)` order,
+        // which is all pop order depends on.
+        let mut replay_from = 0usize;
+        if let Some(ci) = ci {
+            let cp = &self.checkpoints[ci];
+            replay_from = cp.depth;
+            for &(v, ref key, parent, hops) in &cp.open {
+                if out.stamp[v] == epoch {
+                    continue;
+                }
+                out.stamp[v] = epoch;
+                out.key[v].clone_from(key);
+                out.parent[v] = parent;
+                out.hops[v] = hops;
+                out.heap_pos[v] = OPEN;
+                out.touched.push(v);
+            }
+            match out.active {
+                HeapKind::Indexed => {
+                    for &v in &cp.heap {
+                        if out.heap_pos[v] != OPEN {
+                            continue;
+                        }
+                        let end = out.heap.len();
+                        out.heap_pos[v] = end as u32;
+                        out.heap.push(v);
+                        sift_up(&mut out.heap, &mut out.heap_pos, &out.key, end);
+                    }
+                }
+                HeapKind::InlineKey => {
+                    out.lazy.extend(
+                        cp.lazy
+                            .iter()
+                            .filter(|entry| {
+                                out.stamp[entry.1] == epoch && out.heap_pos[entry.1] != SETTLED
+                            })
+                            .map(|entry| Reverse(entry.clone())),
+                    );
+                }
+            }
+        }
+        // Replay the `replay_from..k` relaxations toward open vertices,
+        // in the original order, completing tentative keys and the heap.
+        // Edges between two settled-prefix vertices are fully resolved
+        // (any tie they produced is in `ties_prefix[k]`) and are skipped
+        // — re-relaxing them against *final* keys would flag spurious
+        // ties on prefix tree edges. No faulted edge is examined here:
+        // each has `first_examined ≥ k`, so neither endpoint settled
+        // before step `k`.
+        let SearchScratch {
+            stamp,
+            key,
+            parent,
+            hops,
+            heap,
+            heap_pos,
+            lazy,
+            touched,
+            cand,
+            ties,
+            active,
+            ..
+        } = out;
+        let mut replayed = 0usize;
+        for &u in &self.settle_order[replay_from..k] {
             for (v, e) in g.neighbors(u) {
                 if stamp[v] == epoch && heap_pos[v] == SETTLED {
                     continue;
                 }
                 debug_assert!(!faults.contains(e), "faulted edge inside shared prefix");
-                costs.accumulate(&key[u], e, u, v, cand);
-                relax(
-                    u, v, e, epoch, cand, stamp, key, parent, hops, heap, heap_pos, touched, ties,
-                );
+                replayed += 1;
+                match *active {
+                    HeapKind::InlineKey => {
+                        let cand = costs.compute(&key[u], e, u, v);
+                        relax_inline(
+                            u, v, e, epoch, cand, stamp, key, parent, hops, lazy, heap_pos,
+                            touched, ties,
+                        );
+                    }
+                    HeapKind::Indexed => {
+                        costs.accumulate(&key[u], e, u, v, cand);
+                        relax(
+                            u, v, e, epoch, cand, stamp, key, parent, hops, heap, heap_pos,
+                            touched, ties,
+                        );
+                    }
+                }
             }
         }
-        dijkstra_run(g, faults, costs, out, &mut NoObserver);
+        self.stats.replayed_relaxations += replayed;
+        dijkstra_run(g, faults, costs, out, &mut NoObserver, usize::MAX);
     }
 }
 
@@ -321,10 +655,20 @@ pub fn bfs_batch<C, V>(
         scratch.index_edges(g);
         for (fi, faults) in fault_sets.iter().enumerate() {
             let k = scratch.prefix_len(faults);
+            scratch.stats.queries += 1;
             let flow = if k >= scratch.settle_order.len() {
                 // No faulted edge is ever examined: the baseline answers.
+                scratch.stats.baseline_answered += 1;
                 visitor(si, fi, &scratch.baseline)
             } else {
+                // BFS resume is already `O(prefix + frontier)` with zero
+                // replay (the frontier is a contiguous span of the
+                // discovery order), so it never checkpoints.
+                if k == 0 {
+                    scratch.stats.full_searches += 1;
+                } else {
+                    scratch.stats.prefix_resumed += 1;
+                }
                 scratch.resume_bfs(g, faults, k);
                 visitor(si, fi, &scratch.resume)
             };
@@ -366,15 +710,37 @@ pub fn dijkstra_batch<C, F, V>(
     F: EdgeCostSource<C>,
     V: FnMut(usize, usize, &SearchScratch<C>) -> ControlFlow<()>,
 {
+    let no_faults = FaultSet::empty();
     for (si, &s) in sources.iter().enumerate() {
         scratch.begin_source();
-        let BatchScratch { baseline, settle_order, ties_prefix, reach_after, .. } = scratch;
-        let mut rec = Recorder { settle_order, ties_prefix, reach_after };
-        dijkstra_observed(g, s, &FaultSet::empty(), ByRef(&mut costs), baseline, &mut rec);
+        // Run the instrumented baseline in segments, pausing at each
+        // checkpoint depth to snapshot the paused search state. The final
+        // segment drains the heap; if the graph is exhausted before a
+        // depth is reached, the remaining depths are simply not captured.
+        dijkstra_seed(g, s, &mut scratch.baseline);
+        if scratch.checkpoints_enabled(g) {
+            for d in BatchScratch::<C>::checkpoint_depths(g.n()) {
+                let settled = scratch.settle_order.len();
+                let BatchScratch { baseline, settle_order, ties_prefix, reach_after, .. } = scratch;
+                let mut rec = Recorder { settle_order, ties_prefix, reach_after };
+                dijkstra_run(g, &no_faults, ByRef(&mut costs), baseline, &mut rec, d - settled);
+                if scratch.settle_order.len() < d {
+                    break;
+                }
+                scratch.capture_checkpoint(d);
+            }
+        }
+        {
+            let BatchScratch { baseline, settle_order, ties_prefix, reach_after, .. } = scratch;
+            let mut rec = Recorder { settle_order, ties_prefix, reach_after };
+            dijkstra_run(g, &no_faults, ByRef(&mut costs), baseline, &mut rec, usize::MAX);
+        }
         scratch.index_edges(g);
         for (fi, faults) in fault_sets.iter().enumerate() {
             let k = scratch.prefix_len(faults);
+            scratch.stats.queries += 1;
             let flow = if k >= scratch.settle_order.len() {
+                scratch.stats.baseline_answered += 1;
                 visitor(si, fi, &scratch.baseline)
             } else {
                 scratch.resume_dijkstra(g, faults, ByRef(&mut costs), k);
@@ -677,6 +1043,139 @@ mod tests {
             }
         });
         assert_eq!(seen, 3, "queries after the break must never run");
+    }
+
+    #[test]
+    fn checkpoint_modes_agree_with_each_other_and_single_queries() {
+        // 16×4 grid (n = 64): depths 8, 16, 32 all capture. Every mode
+        // must produce the single-query engine's exact results.
+        let g = generators::grid(16, 4);
+        let fault_sets = mixed_fault_sets(&g);
+        let sources: Vec<Vertex> = vec![0, 31, 63];
+        let cost = |e: EdgeId, u: Vertex, v: Vertex| 500u64 + (e as u64 % 5) + u64::from(u < v);
+        let mut single = SearchScratch::<u64>::new();
+        for heap in [HeapKind::InlineKey, HeapKind::Indexed] {
+            for mode in [CheckpointMode::Auto, CheckpointMode::Always, CheckpointMode::Never] {
+                let mut batch =
+                    BatchScratch::<u64>::new().with_checkpoint_mode(mode).with_heap_kind(heap);
+                dijkstra_batch(&g, &sources, &fault_sets, cost, &mut batch, |si, fi, result| {
+                    dijkstra_into(&g, sources[si], &fault_sets[fi], cost, &mut single);
+                    let ctx = format!("{heap:?}/{mode:?} s{si} f{fi}");
+                    assert_scratches_equal(&g, result, &single, &ctx);
+                    ControlFlow::Continue(())
+                });
+                let stats = batch.stats();
+                assert_eq!(stats.queries, sources.len() * fault_sets.len());
+                assert_eq!(
+                    stats.queries,
+                    stats.baseline_answered
+                        + stats.checkpoint_resumed
+                        + stats.prefix_resumed
+                        + stats.full_searches,
+                    "every query is counted exactly once ({heap:?}/{mode:?})"
+                );
+                match mode {
+                    CheckpointMode::Never => {
+                        assert_eq!(stats.checkpoints_captured, 0);
+                        assert_eq!(stats.checkpoint_resumed, 0);
+                    }
+                    // u64 is an inline-eligible cost: Auto checkpoints
+                    // like Always regardless of the active heap engine.
+                    _ => {
+                        assert_eq!(stats.checkpoints_captured, 3 * sources.len());
+                        assert!(stats.checkpoint_resumed > 0, "deep faults restore checkpoints");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_clone_guard_skips_checkpoints_on_small_graphs() {
+        use rsp_arith::BigInt;
+        let g = generators::grid(6, 6);
+        let fwd: Vec<BigInt> =
+            (0..g.m()).map(|e| BigInt::pow2(70) + BigInt::from(e as i64)).collect();
+        let bwd: Vec<BigInt> =
+            fwd.iter().map(|f| (BigInt::pow2(71) + BigInt::pow2(71)) - f.clone()).collect();
+        let fault_sets = mixed_fault_sets(&g);
+        let mut single = SearchScratch::<BigInt>::new();
+
+        // Auto on a 36-vertex BigInt workload: the guard forbids snapshot
+        // clones, but resumes still work through the replay path.
+        let mut auto = BatchScratch::<BigInt>::new();
+        dijkstra_batch(
+            &g,
+            &[0],
+            &fault_sets,
+            DirectedCosts::new(&fwd, &bwd),
+            &mut auto,
+            |_, fi, result| {
+                dijkstra_into(&g, 0, &fault_sets[fi], DirectedCosts::new(&fwd, &bwd), &mut single);
+                assert_scratches_equal(&g, result, &single, &format!("auto f{fi}"));
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(auto.stats().checkpoints_captured, 0, "guard must skip snapshots");
+        assert_eq!(auto.stats().checkpoint_resumed, 0);
+        assert!(auto.stats().prefix_resumed > 0);
+
+        // Always overrides the guard — and stays byte-identical.
+        let mut always = BatchScratch::<BigInt>::new().with_checkpoint_mode(CheckpointMode::Always);
+        dijkstra_batch(
+            &g,
+            &[0],
+            &fault_sets,
+            DirectedCosts::new(&fwd, &bwd),
+            &mut always,
+            |_, fi, result| {
+                dijkstra_into(&g, 0, &fault_sets[fi], DirectedCosts::new(&fwd, &bwd), &mut single);
+                assert_scratches_equal(&g, result, &single, &format!("always f{fi}"));
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(always.stats().checkpoints_captured > 0);
+    }
+
+    #[test]
+    fn stats_count_bfs_queries_and_reset() {
+        let g = generators::grid(4, 4);
+        let fault_sets = mixed_fault_sets(&g);
+        let mut batch = BatchScratch::<u32>::new();
+        bfs_batch(&g, &[0, 15], &fault_sets, &mut batch, |_, _, _| ControlFlow::Continue(()));
+        let stats = batch.stats().clone();
+        assert_eq!(stats.queries, 2 * fault_sets.len());
+        assert_eq!(
+            stats.queries,
+            stats.baseline_answered + stats.prefix_resumed + stats.full_searches
+        );
+        assert_eq!(stats.checkpoints_captured, 0, "BFS never checkpoints");
+        assert_eq!(stats.reused(), stats.queries - stats.full_searches);
+        assert!(!format!("{stats}").is_empty());
+
+        batch.reset_stats();
+        assert_eq!(batch.stats(), &BatchStats::default());
+    }
+
+    #[test]
+    fn checkpoints_survive_source_and_graph_switches() {
+        // Checkpoints captured for one source must never leak into the
+        // next source's (or next graph's) resumes. Forced inline so the
+        // lazy-heap snapshot path is the one exercised.
+        let mut batch = BatchScratch::<u64>::new()
+            .with_checkpoint_mode(CheckpointMode::Always)
+            .with_heap_kind(HeapKind::InlineKey);
+        let mut single = SearchScratch::<u64>::new();
+        for g in [generators::grid(8, 8), generators::cycle(40), generators::grid(3, 3)] {
+            let fault_sets = mixed_fault_sets(&g);
+            let sources: Vec<Vertex> = vec![0, g.n() - 1];
+            let cost = |e: EdgeId, _: Vertex, _: Vertex| 90u64 + e as u64 % 11;
+            dijkstra_batch(&g, &sources, &fault_sets, cost, &mut batch, |si, fi, result| {
+                dijkstra_into(&g, sources[si], &fault_sets[fi], cost, &mut single);
+                assert_scratches_equal(&g, result, &single, &format!("switch s{si} f{fi}"));
+                ControlFlow::Continue(())
+            });
+        }
     }
 
     #[test]

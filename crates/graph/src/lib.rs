@@ -18,12 +18,16 @@
 //!   tiebreaking schemes;
 //! * [`SearchScratch`] with [`bfs_into`] / [`dijkstra_into`] — the
 //!   reusable search-state engine behind both traversals: generation
-//!   stamping, a dirty list, and an indexed decrease-key heap make
-//!   repeated `(source, fault set)` queries allocation-free;
+//!   stamping, a dirty list, and a cost-specialized heap policy
+//!   ([`rsp_arith::PathCost::HEAP`]: flat inline-key lazy heap for
+//!   register-copy costs, indexed decrease-key heap for heavyweight
+//!   costs) make repeated `(source, fault set)` queries allocation-free;
 //! * [`BatchScratch`] with [`bfs_batch`] / [`dijkstra_batch`] — the batch
 //!   engine over `sources × fault_sets`: fault sets agreeing on the early
 //!   search frontier share the settled prefix of a per-source baseline
-//!   run instead of searching from scratch;
+//!   run instead of searching from scratch, resuming from mid-run
+//!   checkpoints ([`CheckpointMode`]) where available and reporting how
+//!   every query was answered through [`BatchStats`];
 //! * [`bfs_batch_par`] / [`dijkstra_batch_par`] / [`parallel_indexed`] —
 //!   worker-pool fan-out over sources (`std::thread::scope`, one scratch
 //!   per worker, deterministic index-ordered results);
@@ -80,7 +84,10 @@ mod scratch;
 mod spt;
 mod weights;
 
-pub use batch::{bfs_batch, bfs_batch_par, dijkstra_batch, dijkstra_batch_par, BatchScratch};
+pub use batch::{
+    bfs_batch, bfs_batch_par, dijkstra_batch, dijkstra_batch_par, BatchScratch, BatchStats,
+    CheckpointMode,
+};
 pub use bfs::{bfs, bfs_all_pairs, BfsTree};
 pub use builder::{GraphBuilder, GraphError};
 pub use connectivity::{components, connected_pair, diameter, is_connected, is_connected_avoiding};
@@ -91,6 +98,7 @@ pub use io::{from_edge_list_str, to_edge_list_string, ParseGraphError};
 pub use path::Path;
 pub use pool::{default_workers, parallel_indexed};
 pub use routing::NextHopTable;
+pub use rsp_arith::HeapKind;
 pub use scratch::{bfs_into, dijkstra_into, DirectedCosts, EdgeCostSource, SearchScratch};
 pub use spt::WeightedSpt;
 pub use weights::{weighted_sssp, EdgeWeights};

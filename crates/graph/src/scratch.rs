@@ -11,10 +11,18 @@
 //! * **a dirty list** — the vertices a query actually touched, letting
 //!   result extraction ([`SearchScratch::tree_edges`],
 //!   [`SearchScratch::to_bfs_tree`]) skip the unreached part of the graph;
-//! * **an indexed d-ary heap with decrease-key** — the heap stores only
-//!   vertex ids and compares through the cost array, so exact costs
-//!   (`u128`, [`rsp_arith::BigInt`]) are stored exactly once per vertex and
-//!   never cloned into stale heap entries;
+//! * **a cost-specialized heap policy** ([`rsp_arith::PathCost::HEAP`]) —
+//!   register-copy costs (`u32`/`u64`/`u128`) run on a flat lazy binary
+//!   heap (`std`'s [`BinaryHeap`]) whose entries are `(cost, vertex)`
+//!   pairs stored inline: no per-vertex heap-position bookkeeping, no
+//!   indirection on comparisons, candidates held in registers end to end
+//!   ([`EdgeCostSource::compute`]). Heavyweight costs
+//!   ([`rsp_arith::BigInt`]) run on an indexed 4-ary heap with
+//!   decrease-key that stores vertex ids only and compares through the
+//!   cost array, so an exact cost is stored exactly once per vertex and
+//!   never cloned into stale heap entries. Both policies settle vertices
+//!   in the same `(cost, vertex id)` order and detect the same ties, so
+//!   results are byte-identical;
 //! * **in-place cost arithmetic** — relaxations go through
 //!   [`PathCost::add_into`], which for [`rsp_arith::BigInt`] reuses limb
 //!   buffers instead of allocating per relaxed edge.
@@ -39,11 +47,11 @@
 //! }
 //! ```
 
-use std::cmp::Ordering;
-use std::collections::VecDeque;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
 use std::mem;
 
-use rsp_arith::PathCost;
+use rsp_arith::{HeapKind, PathCost};
 
 use crate::bfs::BfsTree;
 use crate::fault::FaultSet;
@@ -52,7 +60,19 @@ use crate::path::Path;
 use crate::spt::WeightedSpt;
 
 /// Heap-position sentinel: the vertex is settled (or was never enqueued).
+///
+/// Under the inline-key policy no heap positions exist; `heap_pos` then
+/// carries only this settled/open distinction (written once per vertex at
+/// discovery and during batch prefix copies), which the batch engine's
+/// replay needs to skip fully-resolved prefix-internal edges.
 pub(crate) const SETTLED: u32 = u32::MAX;
+
+/// `heap_pos` marker for "discovered but not settled" where no real heap
+/// position exists: everywhere under the inline-key engine (positions are
+/// not tracked), and transiently in the batch engine's checkpoint restore
+/// before open vertices re-enter the indexed heap. Any value other than
+/// [`SETTLED`] works.
+pub(crate) const OPEN: u32 = 0;
 
 /// Heap arity. Four keeps the tree shallow (fewer comparisons per
 /// decrease-key, the dominant operation) while sift-down still touches one
@@ -73,6 +93,23 @@ const ARITY: usize = 4;
 pub trait EdgeCostSource<C: PathCost> {
     /// Writes `base + w(e, from → to)` into `out`, reusing `out`'s storage.
     fn accumulate(&mut self, base: &C, e: EdgeId, from: Vertex, to: Vertex, out: &mut C);
+
+    /// Returns `base + w(e, from → to)` by value — the inline-key
+    /// engine's relaxation path, which keeps register-copy candidates out
+    /// of memory entirely (the accumulate form forces a store/load round
+    /// trip through the scratch's candidate buffer on every edge).
+    ///
+    /// The default builds on [`EdgeCostSource::accumulate`] via a fresh
+    /// [`PathCost::zero`]; implementations serving `Copy` costs should
+    /// override it with pure value arithmetic. Only the inline-key engine
+    /// calls this, so heavyweight costs keep their buffer-reusing
+    /// accumulate path.
+    #[inline]
+    fn compute(&mut self, base: &C, e: EdgeId, from: Vertex, to: Vertex) -> C {
+        let mut out = C::zero();
+        self.accumulate(base, e, from, to, &mut out);
+        out
+    }
 }
 
 impl<C: PathCost, F: FnMut(EdgeId, Vertex, Vertex) -> C> EdgeCostSource<C> for F {
@@ -80,6 +117,11 @@ impl<C: PathCost, F: FnMut(EdgeId, Vertex, Vertex) -> C> EdgeCostSource<C> for F
     fn accumulate(&mut self, base: &C, e: EdgeId, from: Vertex, to: Vertex, out: &mut C) {
         let w = self(e, from, to);
         base.add_into(&w, out);
+    }
+
+    #[inline]
+    fn compute(&mut self, base: &C, e: EdgeId, from: Vertex, to: Vertex) -> C {
+        base.plus(&self(e, from, to))
     }
 }
 
@@ -123,6 +165,11 @@ impl<C: PathCost> EdgeCostSource<C> for DirectedCosts<'_, C> {
         // recoverable from the endpoint order alone.
         let w = if from < to { &self.fwd[e] } else { &self.bwd[e] };
         base.add_into(w, out);
+    }
+
+    #[inline]
+    fn compute(&mut self, base: &C, e: EdgeId, from: Vertex, to: Vertex) -> C {
+        base.plus(if from < to { &self.fwd[e] } else { &self.bwd[e] })
     }
 }
 
@@ -168,10 +215,25 @@ pub struct SearchScratch<C = u32> {
     /// Parent `(vertex, edge)`; valid iff stamped and not the source.
     pub(crate) parent: Vec<(Vertex, EdgeId)>,
     pub(crate) hops: Vec<u32>,
-    /// Indexed d-ary min-heap of open vertices, ordered by `(key, id)`.
+    /// Indexed d-ary min-heap of open vertices, ordered by `(key, id)`
+    /// ([`HeapKind::Indexed`] policy only).
     pub(crate) heap: Vec<Vertex>,
-    /// Position of each vertex in `heap`, or [`SETTLED`].
+    /// Position of each vertex in `heap`, or [`SETTLED`]. Under the
+    /// inline-key policy this degrades to a settled/open marker (see
+    /// [`SETTLED`]).
     pub(crate) heap_pos: Vec<u32>,
+    /// Flat lazy min-heap of inline `(cost, vertex)` entries
+    /// ([`HeapKind::InlineKey`] policy only). Improved keys are pushed as
+    /// fresh entries; stale entries are skipped at pop. This is `std`'s
+    /// binary heap on purpose: its unsafe hole-based sifts beat anything
+    /// expressible under this crate's `#![forbid(unsafe_code)]` by ~40%
+    /// on out-of-cache graphs (measured against a safe 4-ary heap).
+    pub(crate) lazy: BinaryHeap<Reverse<(C, Vertex)>>,
+    /// The heap engine serving the current query (fixed at
+    /// [`SearchScratch::begin`]; see [`SearchScratch::set_heap_kind`]).
+    pub(crate) active: HeapKind,
+    /// Forced heap engine, overriding the automatic choice.
+    heap_override: Option<HeapKind>,
     /// BFS frontier ring buffer.
     pub(crate) queue: VecDeque<Vertex>,
     /// Dirty list: vertices reached by the current query, in reach order.
@@ -198,8 +260,13 @@ impl<C: PathCost> SearchScratch<C> {
             key: Vec::new(),
             parent: Vec::new(),
             hops: Vec::new(),
-            heap: Vec::with_capacity(n),
+            // Pre-size only the heap the policy will use; a forced
+            // override of the other engine just grows it amortized.
+            heap: Vec::with_capacity(if C::HEAP == HeapKind::Indexed { n } else { 0 }),
             heap_pos: Vec::new(),
+            lazy: BinaryHeap::with_capacity(if C::HEAP == HeapKind::InlineKey { n } else { 0 }),
+            active: C::HEAP,
+            heap_override: None,
             queue: VecDeque::with_capacity(n),
             touched: Vec::with_capacity(n),
             cand: C::zero(),
@@ -236,7 +303,28 @@ impl<C: PathCost> SearchScratch<C> {
         self.ties = false;
         self.touched.clear();
         self.heap.clear();
+        self.lazy.clear();
         self.queue.clear();
+        // Fix the heap engine for this query: the cost type's policy,
+        // unless explicitly overridden.
+        self.active = self.heap_override.unwrap_or(C::HEAP);
+    }
+
+    /// Forces the heap engine for subsequent queries, or restores the
+    /// cost type's [`PathCost::HEAP`] policy with `None`.
+    ///
+    /// Both engines produce byte-identical results, so this is a
+    /// performance knob — used by the benches to measure the policies
+    /// against each other and by the property suite to pin them to each
+    /// other.
+    pub fn set_heap_kind(&mut self, kind: Option<HeapKind>) {
+        self.heap_override = kind;
+    }
+
+    /// Builder-style companion of [`SearchScratch::set_heap_kind`].
+    pub fn with_heap_kind(mut self, kind: HeapKind) -> Self {
+        self.heap_override = Some(kind);
+        self
     }
 
     /// The most recent query's source vertex.
@@ -458,17 +546,22 @@ pub(crate) fn bfs_run<C: PathCost, O: SearchObserver>(
 }
 
 /// Runs exact-cost Dijkstra from `source` in `g \ faults` into `scratch`,
-/// with decrease-key instead of lazy deletion.
+/// on the heap policy selected by the cost type ([`PathCost::HEAP`]).
 ///
 /// Semantics match [`crate::dijkstra`] exactly — same trees, costs, hop
-/// counts, and tie detection. Vertices settle in `(cost, vertex id)` order,
-/// the same total order the lazy-deletion binary heap realized, so even on
-/// inputs with genuine ties the selected tree is identical.
+/// counts, and tie detection — under *either* policy. Vertices settle in
+/// `(cost, vertex id)` order, the same total order the lazy-deletion binary
+/// heap realized, so even on inputs with genuine ties the selected tree is
+/// identical.
 ///
-/// Costs must be non-negative. Each vertex's exact cost lives only in the
-/// scratch's cost array; the heap holds vertex ids and compares through
-/// that array, so no cost is ever cloned into the heap, and relaxed
-/// candidates are accumulated in place via [`PathCost::add_into`].
+/// Costs must be non-negative. Under [`HeapKind::Indexed`] each vertex's
+/// exact cost lives only in the scratch's cost array; the heap holds vertex
+/// ids, compares through that array, and decrease-keys in place, so no cost
+/// is ever cloned into the heap. Under [`HeapKind::InlineKey`] the heap
+/// holds flat `(cost, vertex)` entries (improved keys are re-pushed, stale
+/// entries skipped at pop) — cheaper for register-copy costs because no
+/// heap positions are maintained. Relaxed candidates are accumulated in
+/// place via [`PathCost::add_into`] either way.
 ///
 /// # Panics
 ///
@@ -499,19 +592,39 @@ pub(crate) fn dijkstra_observed<C, F, O>(
     F: EdgeCostSource<C>,
     O: SearchObserver,
 {
+    dijkstra_seed(g, source, scratch);
+    dijkstra_run(g, faults, costs, scratch, obs, usize::MAX);
+}
+
+/// Opens a weighted query generation and enqueues the source, leaving the
+/// scratch ready for [`dijkstra_run`]. Split out so the batch engine can
+/// interleave bounded run segments with checkpoint captures.
+pub(crate) fn dijkstra_seed<C: PathCost>(
+    g: &Graph,
+    source: Vertex,
+    scratch: &mut SearchScratch<C>,
+) {
     assert!(source < g.n(), "dijkstra source {source} out of range");
     scratch.begin(g.n(), source, true);
     scratch.stamp[source] = scratch.epoch;
     scratch.key[source].set_zero();
     scratch.hops[source] = 0;
     scratch.touched.push(source);
-    scratch.heap_pos[source] = 0;
-    scratch.heap.push(source);
-    dijkstra_run(g, faults, costs, scratch, obs);
+    match scratch.active {
+        HeapKind::InlineKey => {
+            scratch.heap_pos[source] = OPEN;
+            scratch.lazy.push(Reverse((scratch.key[source].clone(), source)));
+        }
+        HeapKind::Indexed => {
+            scratch.heap_pos[source] = 0;
+            scratch.heap.push(source);
+        }
+    }
 }
 
 /// Relaxes the single candidate route `u —e→ v` against `v`'s current
-/// state. `cand` must already hold the candidate cost `key[u] + w(e)`.
+/// state under the [`HeapKind::Indexed`] policy. `cand` must already hold
+/// the candidate cost `key[u] + w(e)`.
 ///
 /// Shared verbatim between the main loop and the batch engine's prefix
 /// replay — the decision structure (and therefore parent selection and tie
@@ -565,14 +678,95 @@ pub(crate) fn relax<C: PathCost>(
     }
 }
 
-/// The Dijkstra main loop over whatever open set `scratch.heap` currently
-/// holds; also the continuation step of a batch resume.
+/// Relaxes the single candidate route `u —e→ v` against `v`'s current
+/// state under the [`HeapKind::InlineKey`] policy. `cand` is the
+/// candidate cost `key[u] + w(e)`, passed *by value*: inline-eligible
+/// costs are register copies, and keeping the candidate out of memory is
+/// half the point of this engine (the indexed engine's
+/// [`EdgeCostSource::accumulate`] path round-trips every candidate
+/// through the scratch's buffer instead).
+///
+/// Reaches the exact same verdicts as [`relax`]: a strictly better route
+/// pushes a fresh `(cost, vertex)` entry (the old entry goes stale and is
+/// skipped at pop), an equal-cost route flags a tie whether `v` is open or
+/// settled, and a worse route is ignored. A strictly better route into a
+/// *settled* vertex cannot occur with non-negative costs, which is what
+/// lets this variant skip the open/settled distinction entirely — except
+/// for the one-time [`OPEN`] marker at discovery, kept so the batch
+/// engine's prefix replay can tell copied-settled vertices apart.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn relax_inline<C: PathCost>(
+    u: Vertex,
+    v: Vertex,
+    e: EdgeId,
+    epoch: u32,
+    cand: C,
+    stamp: &mut [u32],
+    key: &mut [C],
+    parent: &mut [(Vertex, EdgeId)],
+    hops: &mut [u32],
+    lazy: &mut BinaryHeap<Reverse<(C, Vertex)>>,
+    heap_pos: &mut [u32],
+    touched: &mut Vec<Vertex>,
+    ties: &mut bool,
+) {
+    if stamp[v] != epoch {
+        stamp[v] = epoch;
+        key[v] = cand.clone();
+        parent[v] = (u, e);
+        hops[v] = hops[u] + 1;
+        heap_pos[v] = OPEN;
+        touched.push(v);
+        lazy.push(Reverse((cand, v)));
+    } else {
+        match cand.cmp(&key[v]) {
+            Ordering::Less => {
+                key[v] = cand.clone();
+                parent[v] = (u, e);
+                hops[v] = hops[u] + 1;
+                lazy.push(Reverse((cand, v)));
+            }
+            // Equal-cost routes are ties, whether v is open or settled —
+            // the same two cases the indexed engine flags.
+            Ordering::Equal => *ties = true,
+            Ordering::Greater => {}
+        }
+    }
+}
+
+/// The Dijkstra main loop over whatever open set the policy-selected heap
+/// currently holds; also the continuation step of a batch resume.
+///
+/// Settles at most `limit` vertices, leaving the scratch consistent and
+/// resumable when the budget runs out (how the batch engine pauses the
+/// baseline run to capture checkpoints). Pass `usize::MAX` to drain.
 pub(crate) fn dijkstra_run<C, F, O>(
+    g: &Graph,
+    faults: &FaultSet,
+    costs: F,
+    scratch: &mut SearchScratch<C>,
+    obs: &mut O,
+    limit: usize,
+) where
+    C: PathCost,
+    F: EdgeCostSource<C>,
+    O: SearchObserver,
+{
+    match scratch.active {
+        HeapKind::InlineKey => dijkstra_run_inline(g, faults, costs, scratch, obs, limit),
+        HeapKind::Indexed => dijkstra_run_indexed(g, faults, costs, scratch, obs, limit),
+    }
+}
+
+/// [`dijkstra_run`] under the indexed decrease-key policy.
+fn dijkstra_run_indexed<C, F, O>(
     g: &Graph,
     faults: &FaultSet,
     mut costs: F,
     scratch: &mut SearchScratch<C>,
     obs: &mut O,
+    limit: usize,
 ) where
     C: PathCost,
     F: EdgeCostSource<C>,
@@ -583,8 +777,10 @@ pub(crate) fn dijkstra_run<C, F, O>(
     } = scratch;
     let epoch = *epoch;
 
-    while !heap.is_empty() {
+    let mut budget = limit;
+    while budget > 0 && !heap.is_empty() {
         let u = pop_min(heap, heap_pos, key);
+        budget -= 1;
         obs.popped(u);
         for (v, e) in g.neighbors(u) {
             if faults.contains(e) {
@@ -592,6 +788,49 @@ pub(crate) fn dijkstra_run<C, F, O>(
             }
             costs.accumulate(&key[u], e, u, v, cand);
             relax(u, v, e, epoch, cand, stamp, key, parent, hops, heap, heap_pos, touched, ties);
+        }
+        obs.relaxed(touched.len(), *ties);
+    }
+}
+
+/// [`dijkstra_run`] under the inline-key lazy policy.
+fn dijkstra_run_inline<C, F, O>(
+    g: &Graph,
+    faults: &FaultSet,
+    mut costs: F,
+    scratch: &mut SearchScratch<C>,
+    obs: &mut O,
+    limit: usize,
+) where
+    C: PathCost,
+    F: EdgeCostSource<C>,
+    O: SearchObserver,
+{
+    let SearchScratch { epoch, stamp, key, parent, hops, lazy, heap_pos, touched, ties, .. } =
+        scratch;
+    let epoch = *epoch;
+
+    let mut budget = limit;
+    while budget > 0 {
+        let Some(Reverse((c, u))) = lazy.pop() else { break };
+        if key[u] != c {
+            // Stale entry: u was re-pushed with a better key (and that
+            // entry either settled u already or still precedes this one).
+            continue;
+        }
+        // No heap position to retire, but the settled/open marker keeps
+        // the batch engine's frontier filters policy-agnostic.
+        heap_pos[u] = SETTLED;
+        budget -= 1;
+        obs.popped(u);
+        for (v, e) in g.neighbors(u) {
+            if faults.contains(e) {
+                continue;
+            }
+            let cand = costs.compute(&c, e, u, v);
+            relax_inline(
+                u, v, e, epoch, cand, stamp, key, parent, hops, lazy, heap_pos, touched, ties,
+            );
         }
         obs.relaxed(touched.len(), *ties);
     }
@@ -609,7 +848,7 @@ fn heap_less<C: Ord>(key: &[C], a: Vertex, b: Vertex) -> bool {
     }
 }
 
-fn sift_up<C: Ord>(heap: &mut [Vertex], pos: &mut [u32], key: &[C], mut i: usize) {
+pub(crate) fn sift_up<C: Ord>(heap: &mut [Vertex], pos: &mut [u32], key: &[C], mut i: usize) {
     while i > 0 {
         let p = (i - 1) / ARITY;
         if heap_less(key, heap[i], heap[p]) {
@@ -779,6 +1018,70 @@ mod tests {
         got.sort_unstable();
         expected.sort_unstable();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn inline_and_indexed_engines_are_byte_identical() {
+        // Tie-rich near-uniform costs on a grid: settle order, parents,
+        // and tie flags must agree between the two heap engines on every
+        // query, including under scratch reuse.
+        let g = generators::grid(5, 6);
+        let mut inline = SearchScratch::<u64>::new().with_heap_kind(HeapKind::InlineKey);
+        let mut indexed = SearchScratch::<u64>::new().with_heap_kind(HeapKind::Indexed);
+        for s in [0, 13, 29] {
+            for e in [None, Some(0), Some(17)] {
+                let faults = e.map(FaultSet::single).unwrap_or_default();
+                let cost =
+                    |e: EdgeId, u: Vertex, v: Vertex| 100 + (e as u64 % 3) + u64::from(u < v);
+                dijkstra_into(&g, s, &faults, cost, &mut inline);
+                dijkstra_into(&g, s, &faults, cost, &mut indexed);
+                assert_eq!(inline.active, HeapKind::InlineKey);
+                assert_eq!(indexed.active, HeapKind::Indexed);
+                for v in g.vertices() {
+                    assert_eq!(inline.cost(v), indexed.cost(v), "cost({v})");
+                    assert_eq!(inline.hops(v), indexed.hops(v), "hops({v})");
+                    assert_eq!(inline.parent(v), indexed.parent(v), "parent({v})");
+                }
+                assert_eq!(inline.ties_detected(), indexed.ties_detected(), "ties s{s}");
+                assert_eq!(inline.reachable_count(), indexed.reachable_count());
+            }
+        }
+    }
+
+    #[test]
+    fn heap_engine_follows_policy_and_override() {
+        // Register-copy costs run the inline-key heap by policy; the
+        // override forces either engine and `None` restores the policy.
+        let g = generators::grid(4, 4);
+        let mut s = SearchScratch::<u64>::new();
+        dijkstra_into(&g, 0, &FaultSet::empty(), |_, _, _| 1u64, &mut s);
+        assert_eq!(s.active, HeapKind::InlineKey, "u64 policy: inline");
+        s.set_heap_kind(Some(HeapKind::Indexed));
+        dijkstra_into(&g, 0, &FaultSet::empty(), |_, _, _| 1u64, &mut s);
+        assert_eq!(s.active, HeapKind::Indexed, "override wins");
+        s.set_heap_kind(None);
+        dijkstra_into(&g, 0, &FaultSet::empty(), |_, _, _| 1u64, &mut s);
+        assert_eq!(s.active, HeapKind::InlineKey, "None restores the policy");
+
+        // BigInt keeps the indexed decrease-key heap by policy.
+        use rsp_arith::BigInt;
+        let mut b = SearchScratch::<BigInt>::new();
+        dijkstra_into(&g, 0, &FaultSet::empty(), |_, _, _| BigInt::one(), &mut b);
+        assert_eq!(b.active, HeapKind::Indexed);
+    }
+
+    #[test]
+    fn inline_engine_stale_entries_are_skipped() {
+        // The diamond forces a re-push: vertex 3 is first discovered at
+        // cost 101 via 1, then improved to 11 via 2; the stale entry must
+        // be ignored and the final tree must reflect the improvement.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let w = |e: EdgeId| [1u64, 10, 100, 1][e];
+        let mut scratch = SearchScratch::<u64>::new().with_heap_kind(HeapKind::InlineKey);
+        dijkstra_into(&g, 0, &FaultSet::empty(), |e, _, _| w(e), &mut scratch);
+        assert_eq!(scratch.cost(3), Some(&11));
+        assert_eq!(scratch.path_to(3).unwrap().vertices(), &[0, 2, 3]);
+        assert!(!scratch.ties_detected());
     }
 
     #[test]

@@ -10,7 +10,8 @@ use std::ops::ControlFlow;
 use proptest::prelude::*;
 use rsp_graph::{
     bfs_batch, bfs_batch_par, bfs_into, dijkstra_batch, dijkstra_batch_par, dijkstra_into,
-    generators, BatchScratch, DirectedCosts, FaultSet, Graph, SearchScratch, Vertex,
+    generators, BatchScratch, CheckpointMode, DirectedCosts, FaultSet, Graph, HeapKind,
+    SearchScratch, Vertex,
 };
 
 fn gnm_params() -> impl Strategy<Value = (usize, usize, u64)> {
@@ -150,6 +151,62 @@ proptest! {
             assert_eq!(snapshot(&g, r), snapshot(&g, &single), "s{si} f{fi}");
             ControlFlow::Continue(())
         });
+    }
+
+    /// Checkpointed and checkpoint-free resume are byte-identical to each
+    /// other and to the single-query engine — under both heap engines —
+    /// for arbitrary graphs, fault-set orders, and sources. Graphs are
+    /// drawn large enough that `Always` genuinely captures (depth
+    /// `n/2 ≥ 8`), and near-colliding costs make tie flags part of the
+    /// comparison.
+    #[test]
+    fn checkpointed_resume_equals_checkpoint_free_and_single_queries(
+        n in 16usize..=48,
+        density in 0usize..=3,
+        seed in any::<u64>(),
+        fault_picks in prop::collection::vec(any::<prop::sample::Index>(), 1..8),
+        source_picks in prop::collection::vec(any::<prop::sample::Index>(), 1..4),
+    ) {
+        let m = (n - 1 + density * n / 2).min(n * (n - 1) / 2);
+        let g = generators::connected_gnm(n, m, seed);
+        let fs = fault_sets(&g, &fault_picks);
+        let srcs = sources(&g, &source_picks);
+        let cost = |e: usize, from: usize, to: usize| {
+            1_000u64 + (e as u64 * 17) % 3 + u64::from(from < to)
+        };
+        let mut single = SearchScratch::<u64>::new();
+        for heap in [HeapKind::InlineKey, HeapKind::Indexed] {
+            for mode in [CheckpointMode::Always, CheckpointMode::Never, CheckpointMode::Auto] {
+                let mut batch =
+                    BatchScratch::<u64>::new().with_checkpoint_mode(mode).with_heap_kind(heap);
+                dijkstra_batch(&g, &srcs, &fs, cost, &mut batch, |si, fi, result| {
+                    dijkstra_into(&g, srcs[si], &fs[fi], cost, &mut single);
+                    assert_eq!(
+                        snapshot(&g, result),
+                        snapshot(&g, &single),
+                        "{heap:?}/{mode:?} s{si} f{fi}"
+                    );
+                    ControlFlow::Continue(())
+                });
+                let stats = batch.stats();
+                prop_assert_eq!(stats.queries, srcs.len() * fs.len(), "{:?}", mode);
+                prop_assert_eq!(
+                    stats.queries,
+                    stats.baseline_answered + stats.checkpoint_resumed + stats.prefix_resumed
+                        + stats.full_searches,
+                    "query accounting ({:?}/{:?})", heap, mode
+                );
+                if mode == CheckpointMode::Never {
+                    prop_assert_eq!(stats.checkpoints_captured, 0usize);
+                    prop_assert_eq!(stats.checkpoint_resumed, 0usize);
+                } else {
+                    // u64 is inline-eligible: Auto checkpoints like
+                    // Always, and n ≥ 16 means at least the n/2 depth is
+                    // capturable on a connected graph.
+                    prop_assert!(stats.checkpoints_captured >= srcs.len(), "{:?}", mode);
+                }
+            }
+        }
     }
 
     /// Worker counts 1, 2, and 8 produce identical result matrices — and
