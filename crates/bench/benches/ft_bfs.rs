@@ -1,0 +1,86 @@
+//! FT-BFS enumeration benchmarks: the sequential stability-driven
+//! fault-set enumeration (`ft_sv_preserver`) versus the work-stealing
+//! frontier engine (`ft_sv_preserver_frontier`) at worker counts 1, 2,
+//! and 4.
+//!
+//! The workload is the Theorem 26 regime the frontier was built for:
+//! `|S|` small and `f = 2`, where a single source's `O(n^f)` tree
+//! enumeration dominates wall time and per-source fan-out
+//! (`parallel_indexed` over sources, the pre-PR 5 axis) cannot help. The
+//! `frontier_w1` row is the executor's inline path — its gap to
+//! `sequential` is the pure bookkeeping overhead (sharded visited set +
+//! per-item push/pop) — and `frontier_w2`/`frontier_w4` add worker
+//! scaling on top. After the timed rows each group prints one clean
+//! run's [`rsp_preserver::EnumerationStats`] per worker count — fault
+//! sets enumerated / admitted (deduped) / duplicate discoveries /
+//! stolen — so the enumeration's shape and the steal traffic are
+//! measured, not inferred.
+//!
+//! On a single-core container the `frontier_w2`/`frontier_w4` rows are
+//! thread-overhead floors, not speedups (see the `BENCH_5.json`
+//! provenance line); re-run on multi-core hardware before citing
+//! scaling numbers.
+//!
+//! Append results to the repo's `BENCH_<n>.json` trajectory with:
+//!
+//! ```sh
+//! CRITERION_JSON_PATH="$PWD/BENCH_5.json" \
+//!   cargo bench -p rsp_bench --bench ft_bfs
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_core::RandomGridAtw;
+use rsp_graph::{generators, Vertex};
+use rsp_preserver::{ft_sv_preserver, ft_sv_preserver_frontier};
+
+/// One group: sequential vs frontier at 1/2/4 workers, then the stats.
+fn bench_family(c: &mut Criterion, label: &str, n: usize, m: usize, sources: &[Vertex], f: usize) {
+    let g = generators::connected_gnm(n, m, 42);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+
+    let mut group = c.benchmark_group(label);
+    group.bench_function("sequential", |b| {
+        b.iter(|| ft_sv_preserver(&scheme, sources, f).edge_count())
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("frontier_w{workers}"), |b| {
+            b.iter(|| ft_sv_preserver_frontier(&scheme, sources, f, workers).0.edge_count())
+        });
+    }
+    group.finish();
+
+    // One clean (untimed) run per worker count so the printed stats
+    // describe a single build. Enumerated/deduped are worker-count
+    // invariant; only the steal traffic varies with scheduling.
+    for workers in [1usize, 2, 4] {
+        let (p, stats) = ft_sv_preserver_frontier(&scheme, sources, f, workers);
+        println!(
+            "{label}/frontier_w{workers} stats: {stats} ({} preserver edges of {})",
+            p.edge_count(),
+            g.m()
+        );
+    }
+}
+
+/// The motivating regime: ONE source, `f = 2` — before the frontier this
+/// build was fully sequential regardless of the worker budget.
+fn bench_single_source(c: &mut Criterion) {
+    bench_family(c, "ft_bfs/u128_gnm28_56_f2_s1", 28, 56, &[0], 2);
+}
+
+/// A small source set still dominated by per-source enumeration: the
+/// frontier shares one worker budget across sources *and* fault sets.
+fn bench_multi_source(c: &mut Criterion) {
+    bench_family(c, "ft_bfs/u128_gnm28_56_f2_s2", 28, 56, &[0, 14], 2);
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_single_source, bench_multi_source
+}
+criterion_main!(benches);

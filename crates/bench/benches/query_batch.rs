@@ -171,6 +171,21 @@ fn bench_weighted(c: &mut Criterion) {
     bench_weighted_family(c, "query_batch/u128_grid16x16_8x33", &g, &sources, &faults, &[2, 4]);
 }
 
+/// The ROADMAP dense workload: `G(n, m ≈ n^1.5)`. Checkpointed resume
+/// saves `O(prefix edges)` of replay, so its payoff grows with density —
+/// degree-4 grids barely notice checkpoints, a degree-24 G(n,m) should.
+/// The checkpoint depth schedule was re-tuned on this family (see
+/// `rsp_graph::batch`'s depth constants and the README "Performance"
+/// note for the measured outcome).
+fn bench_weighted_dense(c: &mut Criterion) {
+    // n = 144, m = 144^1.5 = 1728: average degree 24 on as many vertices
+    // as the bench budget allows at sample_size 20.
+    let g = generators::connected_gnm(144, 1728, 7);
+    let sources: Vec<Vertex> = (0..8).map(|i| i * g.n() / 8).collect();
+    let faults = fault_batch(&g, 32);
+    bench_weighted_family(c, "query_batch/u128_gnm144_1728_8x33", &g, &sources, &faults, &[]);
+}
+
 /// The Bodwin–Wang multi-fault regime: clustered `f = 2, 3` fault sets.
 fn bench_weighted_multifault(c: &mut Criterion) {
     let g = generators::grid(16, 16);
@@ -230,6 +245,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_weighted, bench_weighted_multifault, bench_bfs
+    targets = bench_weighted, bench_weighted_dense, bench_weighted_multifault, bench_bfs
 }
 criterion_main!(benches);

@@ -14,6 +14,11 @@
 //! on fixed workloads; the experiment binary is about *shapes* (who wins,
 //! by what factor, with what exponent), the benches about wall-clock.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
+//!
 //! # Paper cross-reference
 //!
 //! | Module / bench | Paper (PAPER.md) |

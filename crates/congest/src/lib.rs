@@ -29,6 +29,11 @@
 //!   reproduction — see DESIGN.md substitution 5) uses as black boxes; the
 //!   corresponding edge sets are built centrally by `rsp-preserver`.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
+//!
 //! # Paper cross-reference
 //!
 //! | Module / item | Paper (PAPER.md) |

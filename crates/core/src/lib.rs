@@ -40,6 +40,11 @@
 //! 1-restorable, already on the 4-cycle) is reproduced in the [`c4`] module
 //! by exhaustive enumeration of all symmetric schemes.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
+//!
 //! # Paper cross-reference
 //!
 //! | Module / item | Paper (PAPER.md) |

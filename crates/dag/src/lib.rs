@@ -24,6 +24,11 @@
 //!   [`existential_restoration_stats`], the known-true existential DAG
 //!   restoration lemma.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
+//!
 //! # Paper cross-reference
 //!
 //! | Module / item | Paper (PAPER.md) |

@@ -153,6 +153,36 @@ impl SearchObserver for Recorder<'_> {
 /// the per-vertex cost clones of a snapshot cost more than they save.
 /// `Always` / `Never` override the guard (the property suite uses both to
 /// pin checkpointed and checkpoint-free resume against each other).
+///
+/// # Examples
+///
+/// Results never depend on the mode — only the resume route (visible in
+/// [`BatchStats`]) does:
+///
+/// ```
+/// use std::ops::ControlFlow;
+/// use rsp_graph::{dijkstra_batch, generators, BatchScratch, CheckpointMode, FaultSet};
+///
+/// let g = generators::grid(8, 8);
+/// let faults: Vec<FaultSet> = (0..g.m()).map(FaultSet::single).collect();
+/// let cost = |e: usize, _: usize, _: usize| 100u64 + e as u64;
+/// let mut costs = Vec::new();
+/// for mode in [CheckpointMode::Always, CheckpointMode::Never] {
+///     let mut scratch = BatchScratch::<u64>::new().with_checkpoint_mode(mode);
+///     let mut row = Vec::new();
+///     dijkstra_batch(&g, &[0], &faults, cost, &mut scratch, |_, _, r| {
+///         row.push(r.cost(63).copied());
+///         ControlFlow::Continue(())
+///     });
+///     if mode == CheckpointMode::Always {
+///         assert!(scratch.stats().checkpoints_captured > 0);
+///     } else {
+///         assert_eq!(scratch.stats().checkpoints_captured, 0);
+///     }
+///     costs.push(row);
+/// }
+/// assert_eq!(costs[0], costs[1], "modes are byte-identical");
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CheckpointMode {
     /// Checkpoint unless the cost type's clone is heavyweight and the
@@ -172,6 +202,30 @@ pub enum CheckpointMode {
 /// can total over iterations); [`BatchScratch::reset_stats`] zeroes them.
 /// The worker-pool variants own their scratches internally and do not
 /// expose stats.
+///
+/// # Examples
+///
+/// Every query is answered by exactly one route, so the four route
+/// counters always partition `queries`:
+///
+/// ```
+/// use std::ops::ControlFlow;
+/// use rsp_graph::{bfs_batch, generators, BatchScratch, FaultSet};
+///
+/// let g = generators::grid(5, 5);
+/// let faults: Vec<FaultSet> = (0..g.m()).map(FaultSet::single).collect();
+/// let mut scratch = BatchScratch::<u32>::new();
+/// bfs_batch(&g, &[0, 24], &faults, &mut scratch, |_, _, _| ControlFlow::Continue(()));
+/// let stats = scratch.stats();
+/// assert_eq!(stats.queries, 2 * faults.len());
+/// assert_eq!(
+///     stats.queries,
+///     stats.baseline_answered + stats.checkpoint_resumed + stats.prefix_resumed
+///         + stats.full_searches,
+/// );
+/// assert_eq!(stats.reused(), stats.queries - stats.full_searches);
+/// println!("{stats}"); // one-line human-readable summary
+/// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BatchStats {
     /// Total queries answered.
@@ -366,11 +420,19 @@ impl<C: PathCost> BatchScratch<C> {
     }
 
     /// The settle depths worth checkpointing for an `n`-vertex graph:
-    /// geometric (`n/8`, `n/4`, `n/2`), ascending, deduplicated, and
-    /// deep enough to beat the replay path.
+    /// geometric (`n/8`, `n/4`, `n/2`) plus a late `3n/4` snapshot,
+    /// ascending, deduplicated, and deep enough to beat the replay path.
+    ///
+    /// The `3n/4` depth was added when the dense `G(n, m ≈ n^1.5)`
+    /// `query_batch` family landed (PR 5): replay costs `O(suffix
+    /// edges)`, so on a degree-24 graph the `n/2..k` suffixes of
+    /// deep-diverging queries dominated the resume — a late snapshot
+    /// halves the worst suffix for one more `O(frontier)` capture.
+    /// Degree-4 grids measure the same within noise (suffixes there are
+    /// cheap either way).
     fn checkpoint_depths(n: usize) -> impl Iterator<Item = usize> {
         let mut prev = 0usize;
-        [n / 8, n / 4, n / 2].into_iter().filter(move |&d| {
+        [n / 8, n / 4, n / 2, 3 * n / 4].into_iter().filter(move |&d| {
             let take = d >= MIN_CHECKPOINT_DEPTH && d > prev;
             if take {
                 prev = d;
@@ -694,6 +756,35 @@ pub fn bfs_batch<C, V>(
 /// `costs` must be a pure function of its arguments (the same requirement
 /// every repeated-query caller already relies on); it is consulted both for
 /// the baseline run and for each resumed query.
+///
+/// # Examples
+///
+/// One source, every single-edge fault, reading one target's exact cost
+/// per query:
+///
+/// ```
+/// use std::ops::ControlFlow;
+/// use rsp_graph::{dijkstra_batch, generators, BatchScratch, FaultSet};
+///
+/// let g = generators::cycle(6);
+/// let faults: Vec<FaultSet> = (0..g.m()).map(FaultSet::single).collect();
+/// let mut scratch = BatchScratch::<u64>::with_capacity(g.n());
+/// let mut costs_to_3 = Vec::new();
+/// dijkstra_batch(
+///     &g,
+///     &[0],
+///     &faults,
+///     |_e: usize, _u: usize, _v: usize| 10u64,
+///     &mut scratch,
+///     |_si, _fi, result| {
+///         costs_to_3.push(result.cost(3).copied());
+///         ControlFlow::Continue(())
+///     },
+/// );
+/// // The cycle stays connected under any one fault: 0 → 3 always costs
+/// // 3 hops one way or 3 the other (uniform weight 10).
+/// assert_eq!(costs_to_3, vec![Some(30); g.m()]);
+/// ```
 ///
 /// # Panics
 ///
@@ -1081,8 +1172,9 @@ mod tests {
                     }
                     // u64 is an inline-eligible cost: Auto checkpoints
                     // like Always regardless of the active heap engine.
+                    // n = 64: depths 8, 16, 32, 48 all capture.
                     _ => {
-                        assert_eq!(stats.checkpoints_captured, 3 * sources.len());
+                        assert_eq!(stats.checkpoints_captured, 4 * sources.len());
                         assert!(stats.checkpoint_resumed > 0, "deep faults restore checkpoints");
                     }
                 }

@@ -31,12 +31,21 @@
 //! * [`bfs_batch_par`] / [`dijkstra_batch_par`] / [`parallel_indexed`] —
 //!   worker-pool fan-out over sources (`std::thread::scope`, one scratch
 //!   per worker, deterministic index-ordered results);
+//! * [`parallel_frontier`] / [`ShardedSet`] — the work-stealing frontier
+//!   executor for jobs that *discover* further jobs (the FT-BFS fault-set
+//!   enumeration in `rsp_preserver`), with a sharded concurrent visited
+//!   set for frontier dedup;
 //! * [`WeightedSpt`] / [`BfsTree`] — shortest-path trees with path
 //!   extraction;
 //! * [`NextHopTable`] — routing tables in the MPLS sense (consistency of a
 //!   tiebreaking scheme is exactly what makes these well defined);
 //! * [`generators`] — the graph families used across tests and experiments,
 //!   including the 4-cycle of Theorem 37 and workloads for the benches.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
 //!
 //! # Paper cross-reference
 //!
@@ -66,7 +75,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod batch;
 mod bfs;
@@ -96,7 +105,7 @@ pub use fault::FaultSet;
 pub use graph::{EdgeId, Graph, Vertex};
 pub use io::{from_edge_list_str, to_edge_list_string, ParseGraphError};
 pub use path::Path;
-pub use pool::{default_workers, parallel_indexed};
+pub use pool::{default_workers, parallel_frontier, parallel_indexed, FrontierStats, ShardedSet};
 pub use routing::NextHopTable;
 pub use rsp_arith::HeapKind;
 pub use scratch::{bfs_into, dijkstra_into, DirectedCosts, EdgeCostSource, SearchScratch};

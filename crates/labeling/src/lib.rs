@@ -15,6 +15,11 @@
 //! is `O(n^{2−1/2^f} log n)` bits; for `f = 0` that is `Õ(n)`, improving
 //! the `Õ(n^{3/2})` of Bilò et al. as the paper notes.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
+//!
 //! # Paper cross-reference
 //!
 //! | Module / item | Paper (PAPER.md) |

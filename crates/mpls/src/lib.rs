@@ -19,6 +19,11 @@
 //! (the arbitrary BFS tables of a textbook router) the same procedure can
 //! come up empty — that is Figure 1 as an operations incident.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
+//!
 //! # Paper cross-reference
 //!
 //! | Module / item | Paper (PAPER.md) |

@@ -1,10 +1,24 @@
 //! Preserver construction by replacement-path overlay (Theorems 26 and 31).
+//!
+//! The `O(n^f)` stability-driven fault-set enumeration behind
+//! [`ft_bfs_structure`] runs either sequentially (one explicit stack) or
+//! on the work-stealing frontier executor
+//! ([`rsp_graph::parallel_frontier`]): enumeration items are
+//! `(source, fault set)` pairs, newly discovered fault sets are
+//! deduplicated through a sharded concurrent visited set
+//! ([`rsp_graph::ShardedSet`]) and pushed onto the shared frontier, and
+//! each worker runs its tree queries against a private
+//! [`rsp_core::RptsScratch`]. Results are identical for every worker
+//! count; [`EnumerationStats`] reports the enumerated / deduplicated /
+//! stolen counts. See `docs/ARCHITECTURE.md` (repo root) for the
+//! pipeline-level story.
 
 use std::collections::HashSet;
+use std::fmt;
 use std::ops::ControlFlow;
 
-use rsp_core::Rpts;
-use rsp_graph::{parallel_indexed, EdgeId, FaultSet, Graph, Vertex};
+use rsp_core::{Rpts, RptsScratch};
+use rsp_graph::{parallel_frontier, EdgeId, FaultSet, Graph, ShardedSet, Vertex};
 
 /// A preserver: a subset of `G`'s edges, plus build statistics.
 ///
@@ -100,28 +114,186 @@ pub fn overlay_paths<S: Rpts>(
     Preserver::new(scheme.graph().n(), edges, trees)
 }
 
-/// [`overlay_paths`] with queries fanned out over a worker pool (one
-/// scheme scratch per worker).
+/// Execution counters from one frontier-driven enumeration
+/// ([`ft_bfs_structure_frontier`] / [`ft_sv_preserver_frontier`]).
+///
+/// The defining invariant — each relevant fault set is visited **exactly
+/// once** — is observable as `enumerated == deduped`: every item admitted
+/// past the visited set was expanded, and nothing was expanded twice (the
+/// property suite in `tests/frontier_properties.rs` asserts this under
+/// deliberately contended worker counts).
+///
+/// # Examples
+///
+/// ```
+/// use rsp_core::RandomGridAtw;
+/// use rsp_preserver::ft_bfs_structure_frontier;
+/// use rsp_graph::generators;
+///
+/// let g = generators::petersen();
+/// let scheme = RandomGridAtw::theorem20(&g, 3).into_scheme();
+/// let (p, stats) = ft_bfs_structure_frontier(&scheme, 0, 2, 4);
+/// assert_eq!(stats.enumerated, stats.deduped, "each fault set visited once");
+/// assert_eq!(stats.enumerated, p.trees_computed());
+/// assert!(stats.duplicates > 0, "{{e, e'}} is discovered in both edge orders");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// `(source, fault set)` items expanded (trees computed).
+    pub enumerated: usize,
+    /// Items admitted by the concurrent visited set (first discovery).
+    pub deduped: usize,
+    /// Discoveries rejected as already visited or in flight — the same
+    /// fault set reached along a different tree-edge path.
+    pub duplicates: usize,
+    /// Items a worker claimed from another worker's deque
+    /// (work-stealing events; 0 on the single-worker inline path).
+    pub stolen: usize,
+}
+
+impl fmt::Display for EnumerationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault sets enumerated ({} admitted, {} duplicate discoveries), {} stolen",
+            self.enumerated, self.deduped, self.duplicates, self.stolen
+        )
+    }
+}
+
+/// Per-worker accumulator for the frontier-driven builds: one scheme
+/// scratch (never crosses threads), the worker's share of the overlay,
+/// and its execution counters.
+struct OverlayWorker {
+    scratch: RptsScratch,
+    edges: HashSet<EdgeId>,
+    trees: usize,
+    duplicates: usize,
+}
+
+impl OverlayWorker {
+    fn new<S: Rpts + ?Sized>(scheme: &S) -> Self {
+        OverlayWorker {
+            scratch: scheme.new_scratch(),
+            edges: HashSet::new(),
+            trees: 0,
+            duplicates: 0,
+        }
+    }
+}
+
+/// The shared frontier engine: expands every seed `(s, F)` — and, below
+/// depth `f`, every `(s, F ∪ {e})` for tree edges `e` of the selected
+/// tree, deduplicated through `visited` — across `workers` work-stealing
+/// workers, overlaying every computed tree.
+///
+/// The result is a pure function of the *set* of items expanded (a union
+/// of tree edges plus commutative counters), and the expanded set is the
+/// closure of the seeds under a deterministic growth rule, so the outcome
+/// is identical for every worker count and schedule.
+fn overlay_frontier<S: Rpts + Sync>(
+    scheme: &S,
+    seeds: Vec<(Vertex, FaultSet)>,
+    f: usize,
+    workers: usize,
+) -> (Preserver, EnumerationStats) {
+    let visited: ShardedSet<(Vertex, FaultSet)> = ShardedSet::new(workers);
+    let mut seed_duplicates = 0usize;
+    let seeds: Vec<(Vertex, FaultSet)> = seeds
+        .into_iter()
+        .filter(|(s, faults)| {
+            let fresh = visited.insert((*s, faults.clone()));
+            seed_duplicates += usize::from(!fresh);
+            fresh
+        })
+        .collect();
+    let (folds, fstats) = parallel_frontier(
+        seeds,
+        workers,
+        |_| OverlayWorker::new(scheme),
+        |worker, (s, faults), push| {
+            let tree = scheme.tree_from_with(s, &faults, &mut worker.scratch);
+            worker.trees += 1;
+            let expand = faults.len() < f;
+            for e in tree.tree_edges() {
+                worker.edges.insert(e);
+                if expand {
+                    let child = faults.with(e);
+                    if visited.insert((s, child.clone())) {
+                        push((s, child));
+                    } else {
+                        worker.duplicates += 1;
+                    }
+                }
+            }
+        },
+        |worker| (worker.edges, worker.trees, worker.duplicates),
+    );
+    let mut edges = HashSet::new();
+    let mut trees = 0usize;
+    let mut duplicates = seed_duplicates;
+    for (worker_edges, worker_trees, worker_duplicates) in folds {
+        edges.extend(worker_edges);
+        trees += worker_trees;
+        duplicates += worker_duplicates;
+    }
+    let stats = EnumerationStats {
+        enumerated: trees,
+        deduped: visited.len(),
+        duplicates,
+        stolen: fstats.stolen,
+    };
+    (Preserver::new(scheme.graph().n(), edges, trees), stats)
+}
+
+/// [`overlay_paths`] with queries fanned out over the work-stealing
+/// worker pool (one scheme scratch per worker, dynamic claiming — tree
+/// query costs vary with the fault set's distance from the source).
 ///
 /// The overlay is a set union, so the result is identical to the
 /// sequential form for every worker count.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_core::RandomGridAtw;
+/// use rsp_preserver::{overlay_paths, overlay_paths_par};
+/// use rsp_graph::{generators, FaultSet};
+///
+/// let g = generators::grid(3, 3);
+/// let scheme = RandomGridAtw::theorem20(&g, 5).into_scheme();
+/// let queries: Vec<_> = (0..g.m()).map(|e| (0, FaultSet::single(e))).collect();
+/// let par = overlay_paths_par(&scheme, queries.iter().cloned(), 4);
+/// let seq = overlay_paths(&scheme, queries);
+/// assert_eq!(par.edges(), seq.edges());
+/// ```
 pub fn overlay_paths_par<S: Rpts + Sync>(
     scheme: &S,
     queries: impl IntoIterator<Item = (Vertex, FaultSet)>,
     workers: usize,
 ) -> Preserver {
     let queries: Vec<(Vertex, FaultSet)> = queries.into_iter().collect();
-    let per_query = parallel_indexed(
-        queries.len(),
+    let (folds, _) = parallel_frontier(
+        queries,
         workers,
-        |_| scheme.new_scratch(),
-        |scratch, i| {
-            let (s, faults) = &queries[i];
-            scheme.tree_from_with(*s, faults, scratch).tree_edges().collect::<Vec<EdgeId>>()
+        |_| OverlayWorker::new(scheme),
+        |worker, (s, faults), _push| {
+            // A fixed query list — an overlay counts every query's tree
+            // (duplicates included, matching `overlay_paths`), so there
+            // is no dedup and the frontier never grows.
+            worker
+                .edges
+                .extend(scheme.tree_from_with(s, &faults, &mut worker.scratch).tree_edges());
+            worker.trees += 1;
         },
+        |worker| (worker.edges, worker.trees),
     );
-    let trees = per_query.len();
-    let edges: HashSet<EdgeId> = per_query.into_iter().flatten().collect();
+    let mut edges = HashSet::new();
+    let mut trees = 0usize;
+    for (worker_edges, worker_trees) in folds {
+        edges.extend(worker_edges);
+        trees += worker_trees;
+    }
     Preserver::new(scheme.graph().n(), edges, trees)
 }
 
@@ -168,6 +340,29 @@ pub fn ft_bfs_structure_with<S: Rpts>(
     Preserver::new(scheme.graph().n(), edges, trees)
 }
 
+/// [`ft_bfs_structure`] with the fault-set enumeration itself run on the
+/// work-stealing frontier ([`rsp_graph::parallel_frontier`]) — the
+/// parallel axis *inside* one source, where the sequential build spends
+/// `O(n^f)` tree queries.
+///
+/// Newly discovered fault sets are admitted through a sharded concurrent
+/// visited set and pushed onto the shared frontier; idle workers steal
+/// them and run tree queries against private scheme scratches. The set of
+/// fault sets expanded is the closure of `{∅}` under "grow by an edge of
+/// the current selected tree", which is worker-count- and
+/// schedule-independent, so the preserver (and its tree count) is
+/// identical to the sequential build's. Returns the preserver plus
+/// [`EnumerationStats`] (`enumerated == deduped` certifies exactly-once
+/// expansion).
+pub fn ft_bfs_structure_frontier<S: Rpts + Sync>(
+    scheme: &S,
+    s: Vertex,
+    f: usize,
+    workers: usize,
+) -> (Preserver, EnumerationStats) {
+    overlay_frontier(scheme, vec![(s, FaultSet::empty())], f, workers)
+}
+
 /// The `f`-FT `S × V` preserver of Theorem 26: the union of per-source
 /// FT-BFS structures. Size `O(n^{2−1/2^f} |S|^{1/2^f})` when the scheme is
 /// consistent and stable.
@@ -183,34 +378,69 @@ pub fn ft_sv_preserver<S: Rpts>(scheme: &S, sources: &[Vertex], f: usize) -> Pre
     Preserver::new(scheme.graph().n(), edges, trees)
 }
 
-/// [`ft_sv_preserver`] with the per-source FT-BFS builds fanned out over a
-/// worker pool — the embarrassingly parallel axis of Theorem 26: each
-/// source's `O(n^f)`-tree enumeration is independent given its own scheme
-/// scratch.
+/// [`ft_sv_preserver`] on the work-stealing frontier, composing **both**
+/// parallel axes of Theorem 26 under one worker budget: the seed items
+/// `(s, ∅)` fan the enumeration out over sources, and every fault set a
+/// tree discovers joins the same shared frontier — so a lone
+/// heavy-enumeration source (tree counts differ by orders of magnitude
+/// between sources) is carved up by work stealing instead of serializing
+/// the tail, and `|S| < workers` no longer idles the surplus workers.
 ///
-/// The preserver is a set union, so the result is identical to the
-/// sequential form for every worker count. Work is claimed dynamically,
-/// which matters here: tree counts can differ by orders of magnitude
-/// between sources.
+/// The preserver is a set union over a worker-count-independent item
+/// closure, so the result is identical to the sequential form for every
+/// worker count. Returns the enumeration stats alongside.
+///
+/// One deliberate divergence from [`ft_sv_preserver`]: **duplicate
+/// sources collapse**. The seed dedup admits each distinct `(s, ∅)`
+/// once, so a repeated source contributes its trees once, where the
+/// sequential loop re-enumerates it per occurrence (a fresh visited set
+/// per call). The edge set is unaffected — only
+/// [`Preserver::trees_computed`] (and the stats) differ, and only on
+/// degenerate inputs with repeated sources.
+pub fn ft_sv_preserver_frontier<S: Rpts + Sync>(
+    scheme: &S,
+    sources: &[Vertex],
+    f: usize,
+    workers: usize,
+) -> (Preserver, EnumerationStats) {
+    let seeds = sources.iter().map(|&s| (s, FaultSet::empty())).collect();
+    overlay_frontier(scheme, seeds, f, workers)
+}
+
+/// [`ft_sv_preserver`] with the FT-BFS builds fanned out over a worker
+/// pool — [`ft_sv_preserver_frontier`] minus the stats return.
+///
+/// Both the per-source axis and the fault-set enumeration *inside* each
+/// source run on the shared work-stealing frontier (before PR 5 only
+/// sources were parallel; a single-source `f ≥ 2` build serialized). The
+/// preserver is identical to the sequential form for every worker count
+/// — with distinct sources, tree counts included; repeated sources
+/// collapse to one enumeration each (see
+/// [`ft_sv_preserver_frontier`]), which the sequential build instead
+/// re-enumerates, so only `trees_computed` can differ and only on that
+/// degenerate input.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_core::RandomGridAtw;
+/// use rsp_preserver::{ft_sv_preserver, ft_sv_preserver_par};
+/// use rsp_graph::generators;
+///
+/// let g = generators::grid(3, 4);
+/// let scheme = RandomGridAtw::theorem20(&g, 9).into_scheme();
+/// let par = ft_sv_preserver_par(&scheme, &[0, 11], 1, 4);
+/// let seq = ft_sv_preserver(&scheme, &[0, 11], 1);
+/// assert_eq!(par.edges(), seq.edges());
+/// assert_eq!(par.trees_computed(), seq.trees_computed());
+/// ```
 pub fn ft_sv_preserver_par<S: Rpts + Sync>(
     scheme: &S,
     sources: &[Vertex],
     f: usize,
     workers: usize,
 ) -> Preserver {
-    let per_source = parallel_indexed(
-        sources.len(),
-        workers,
-        |_| scheme.new_scratch(),
-        |scratch, i| ft_bfs_structure_with(scheme, sources[i], f, scratch),
-    );
-    let mut edges = HashSet::new();
-    let mut trees = 0;
-    for p in per_source {
-        trees += p.trees_computed();
-        edges.extend(p.edges().iter().copied());
-    }
-    Preserver::new(scheme.graph().n(), edges, trees)
+    ft_sv_preserver_frontier(scheme, sources, f, workers).0
 }
 
 /// The `f_total`-FT `S × S` preserver of Theorem 31, built as an
@@ -309,6 +539,57 @@ mod tests {
             assert_eq!(par.edges(), seq.edges(), "workers={workers}");
             assert_eq!(par.trees_computed(), seq.trees_computed(), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn frontier_single_source_matches_sequential_up_to_f2() {
+        let g = generators::connected_gnm(14, 30, 11);
+        let scheme = RandomGridAtw::theorem20(&g, 11).into_scheme();
+        for f in [0usize, 1, 2] {
+            let seq = ft_bfs_structure(&scheme, 3, f);
+            for workers in [1, 2, 8] {
+                let (par, stats) = ft_bfs_structure_frontier(&scheme, 3, f, workers);
+                assert_eq!(par.edges(), seq.edges(), "f={f} workers={workers}");
+                assert_eq!(par.trees_computed(), seq.trees_computed(), "f={f} workers={workers}");
+                assert_eq!(stats.enumerated, stats.deduped, "f={f} workers={workers}: once each");
+                assert_eq!(stats.enumerated, seq.trees_computed(), "f={f} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_stats_account_for_every_discovery() {
+        // f = 2 on a dense-ish graph: plenty of duplicate discoveries
+        // (the same {e1, e2} is reached via both orders), so the stats
+        // must reconcile: admissions + rejections = total discoveries,
+        // and every admission is expanded exactly once.
+        let g = generators::connected_gnm(12, 26, 13);
+        let scheme = RandomGridAtw::theorem20(&g, 13).into_scheme();
+        let (p, stats) = ft_bfs_structure_frontier(&scheme, 0, 2, 4);
+        assert_eq!(stats.enumerated, stats.deduped);
+        assert_eq!(stats.enumerated, p.trees_computed());
+        assert!(stats.duplicates > 0, "two-fault sets are discovered in both edge orders");
+        assert!(!format!("{stats}").is_empty());
+    }
+
+    #[test]
+    fn frontier_multi_source_shares_one_budget() {
+        let g = generators::connected_gnm(16, 34, 15);
+        let scheme = RandomGridAtw::theorem20(&g, 15).into_scheme();
+        let sources = vec![0, 7, 15];
+        let seq = ft_sv_preserver(&scheme, &sources, 2);
+        for workers in [1, 2, 8] {
+            let (par, stats) = ft_sv_preserver_frontier(&scheme, &sources, 2, workers);
+            assert_eq!(par.edges(), seq.edges(), "workers={workers}");
+            assert_eq!(par.trees_computed(), seq.trees_computed(), "workers={workers}");
+            assert_eq!(stats.enumerated, stats.deduped, "workers={workers}");
+        }
+        // Duplicate sources collapse: the seed dedup admits each once.
+        let (dup, dup_stats) = ft_sv_preserver_frontier(&scheme, &[0, 0, 7], 1, 2);
+        let (uniq, uniq_stats) = ft_sv_preserver_frontier(&scheme, &[0, 7], 1, 2);
+        assert_eq!(dup.edges(), uniq.edges());
+        assert_eq!(dup_stats.enumerated, uniq_stats.enumerated);
+        assert_eq!(dup_stats.duplicates, uniq_stats.duplicates + 1);
     }
 
     #[test]

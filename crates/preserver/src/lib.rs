@@ -7,7 +7,11 @@
 //! * [`ft_sv_preserver`] — overlay all `S × V` replacement paths selected
 //!   by a consistent stable RPTS under `≤ f` faults (Theorem 26; the
 //!   relevant fault sets are enumerated through stability, growing each
-//!   fault set only by edges of the current tree);
+//!   fault set only by edges of the current tree). The enumeration also
+//!   runs on a work-stealing frontier of fault sets
+//!   ([`ft_sv_preserver_frontier`] / [`ft_bfs_structure_frontier`], with
+//!   [`EnumerationStats`] observability) — identical output, parallel
+//!   inside a single source;
 //! * [`ft_subset_preserver`] — the `(f+1)`-FT `S × S` preserver of
 //!   Theorem 31: the union of `f`-FT `{s} × V` preservers under a
 //!   *restorable* scheme. Restorability is what upgrades `f` to `f + 1`
@@ -21,14 +25,19 @@
 //!   perturbation-based comparison showing random tiebreaking escapes the
 //!   bound on the same graph.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
+//!
 //! # Paper cross-reference
 //!
 //! | Module / item | Paper (PAPER.md) |
 //! |---|---|
 //! | [`Preserver`] | Definition 4: `S × T` `f`-FT distance preserver |
 //! | [`overlay_paths`], [`overlay_paths_par`] | the raw overlay primitive behind every Section 4.1 construction |
-//! | [`ft_bfs_structure`] | Theorem 26 with `\|S\| = 1` (FT-BFS structure, stability-driven enumeration) |
-//! | [`ft_sv_preserver`], [`ft_sv_preserver_par`] | Theorem 26 `S × V` preserver (parallel over sources) |
+//! | [`ft_bfs_structure`], [`ft_bfs_structure_frontier`] | Theorem 26 with `\|S\| = 1` (FT-BFS structure, stability-driven enumeration — sequential or work-stealing) |
+//! | [`ft_sv_preserver`], [`ft_sv_preserver_par`], [`ft_sv_preserver_frontier`] | Theorem 26 `S × V` preserver (sources and fault sets share one frontier) |
 //! | [`ft_subset_preserver`] | Theorem 31: restorability upgrades `f` to `f + 1` for `S × S` |
 //! | [`verify_preserver`] | Definition 4 checked against ground-truth BFS |
 //! | [`lower_bound`] | Theorem 27 / Appendix B `G_f(d)` family (Figures 2–3) |
@@ -50,15 +59,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod ft_bfs;
 pub mod lower_bound;
 mod verify;
 
 pub use ft_bfs::{
-    ft_bfs_structure, ft_bfs_structure_with, ft_subset_preserver, ft_sv_preserver,
-    ft_sv_preserver_par, overlay_paths, overlay_paths_par, Preserver,
+    ft_bfs_structure, ft_bfs_structure_frontier, ft_bfs_structure_with, ft_subset_preserver,
+    ft_sv_preserver, ft_sv_preserver_frontier, ft_sv_preserver_par, overlay_paths,
+    overlay_paths_par, EnumerationStats, Preserver,
 };
 pub use verify::{
     translate_faults, verify_preserver, verify_preserver_counting, PairSet, PreserverViolation,

@@ -1,0 +1,95 @@
+//! Property tests for the work-stealing FT-BFS enumeration: the frontier
+//! engine ([`ft_bfs_structure_frontier`] / [`ft_sv_preserver_frontier`])
+//! must produce the sequential build's exact preserver — edge set and
+//! tree count — for every worker count, and must expand each relevant
+//! fault set exactly once even under deliberately contended scheduling
+//! (many workers racing over a tiny enumeration). Exactly-once is
+//! asserted through the engine's own accounting (`enumerated ==
+//! deduped`: every admission expanded, nothing expanded twice) *and*
+//! against the sequential tree count, so the two certificates
+//! cross-check each other.
+
+use proptest::prelude::*;
+use rsp_core::RandomGridAtw;
+use rsp_graph::generators;
+use rsp_preserver::{ft_bfs_structure, ft_sv_preserver, ft_sv_preserver_frontier};
+
+/// Graph parameters small enough that `f = 3` closures stay in the
+/// hundreds of trees: `n` vertices, a spanning tree plus up to `n/2`
+/// extra edges.
+fn gnm_params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (5usize..=12, 0usize..=2, any::<u64>()).prop_map(|(n, density, seed)| {
+        let extra = density * n / 4;
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        (n, m, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Worker count never changes the preserver: edges and tree counts
+    /// are pinned against the sequential stability enumeration for
+    /// `f = 1..3` and workers 1, 2, 8.
+    #[test]
+    fn frontier_is_byte_identical_to_sequential(
+        (n, m, seed) in gnm_params(),
+        f in 1usize..=3,
+        source in any::<prop::sample::Index>(),
+    ) {
+        let g = generators::connected_gnm(n, m, seed);
+        let s = source.index(g.n());
+        let scheme = RandomGridAtw::theorem20(&g, seed).into_scheme();
+        let seq = ft_bfs_structure(&scheme, s, f);
+        for workers in [1usize, 2, 8] {
+            let (par, stats) =
+                rsp_preserver::ft_bfs_structure_frontier(&scheme, s, f, workers);
+            prop_assert_eq!(par.edges(), seq.edges(), "workers={}", workers);
+            prop_assert_eq!(
+                par.trees_computed(), seq.trees_computed(), "workers={}", workers
+            );
+            prop_assert_eq!(stats.enumerated, stats.deduped, "workers={}", workers);
+            prop_assert_eq!(stats.enumerated, seq.trees_computed(), "workers={}", workers);
+        }
+    }
+
+    /// Concurrent dedup under contention: 8 workers on enumerations of a
+    /// few hundred items force constant races on the sharded visited set
+    /// (the same fault set is discovered along many tree-edge paths);
+    /// every relevant fault set must still be expanded exactly once, and
+    /// the duplicate count must be exactly the surplus discoveries.
+    #[test]
+    fn contended_enumeration_visits_each_fault_set_exactly_once(
+        (n, m, seed) in gnm_params(),
+        source in any::<prop::sample::Index>(),
+    ) {
+        let g = generators::connected_gnm(n, m, seed);
+        let s = source.index(g.n());
+        let scheme = RandomGridAtw::theorem20(&g, seed).into_scheme();
+        let seq = ft_bfs_structure(&scheme, s, 2);
+        let (par, stats) = rsp_preserver::ft_bfs_structure_frontier(&scheme, s, 2, 8);
+        prop_assert_eq!(stats.enumerated, stats.deduped, "exactly-once expansion");
+        prop_assert_eq!(stats.enumerated, seq.trees_computed());
+        prop_assert_eq!(par.edges(), seq.edges());
+        prop_assert_eq!(par.trees_computed(), stats.enumerated);
+    }
+
+    /// Multi-source frontier: seeds share one worker budget, the result
+    /// still equals the per-source sequential union.
+    #[test]
+    fn multi_source_frontier_matches_sequential_union(
+        (n, m, seed) in gnm_params(),
+        f in 1usize..=2,
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..4),
+    ) {
+        let g = generators::connected_gnm(n, m, seed);
+        let sources: Vec<usize> = picks.iter().map(|p| p.index(g.n())).collect();
+        let scheme = RandomGridAtw::theorem20(&g, seed).into_scheme();
+        let seq = ft_sv_preserver(&scheme, &sources, f);
+        for workers in [2usize, 8] {
+            let (par, stats) = ft_sv_preserver_frontier(&scheme, &sources, f, workers);
+            prop_assert_eq!(par.edges(), seq.edges(), "workers={}", workers);
+            prop_assert_eq!(stats.enumerated, stats.deduped, "workers={}", workers);
+        }
+    }
+}

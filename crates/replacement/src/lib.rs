@@ -19,6 +19,11 @@
 //!   benches compare against (BFS-per-fault recompute, and the single-pair
 //!   algorithm run on the full graph per pair).
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
+//!
 //! # Paper cross-reference
 //!
 //! | Module / item | Paper (PAPER.md) |

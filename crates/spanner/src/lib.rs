@@ -17,6 +17,11 @@
 //! stretch analysis routes any replacement path through the first and last
 //! clustered vertices' centers, paying `+2` at each end.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
+//! workspace architecture: the crate layering, the three-level query
+//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
+//! preserver enumeration pipeline.
+//!
 //! # Paper cross-reference
 //!
 //! | Module / item | Paper (PAPER.md) |

@@ -29,8 +29,11 @@
 //!
 //! Each crate's own documentation opens with a **paper cross-reference
 //! table** mapping its modules to the theorems, definitions, and sections
-//! of PAPER.md; README.md's "Architecture" section maps the crate
-//! dependency structure and the query-engine design.
+//! of PAPER.md; `docs/ARCHITECTURE.md` at the repository root is the
+//! canonical guide-level architecture — the crate layering, the
+//! three-level query engine (scratch -> batch/checkpoint ->
+//! pool/frontier), and the preserver enumeration pipeline — which
+//! README.md's "Architecture" section summarizes.
 //!
 //! # Quickstart
 //!
