@@ -1,0 +1,208 @@
+//! Serving-layer benchmarks: queries/sec through the epoch-swapped
+//! oracle at 1..4 reader threads, and query latency during a
+//! publish-under-load storm.
+//!
+//! The workload is the serving regime the oracle was built for: a
+//! compiled `u128` grid scheme answering a fixed mix of `(s, F)`
+//! queries — fault-free and off-tree faults (the zero-traversal fast
+//! path) interleaved with on-tree faults (the engine path in the
+//! reader's warm scratch). `inline_reader` times one query; the
+//! `readers_N` rows time one full round (N threads × `QUERIES_PER_ITER`
+//! queries each), so aggregate throughput is
+//! `N × QUERIES_PER_ITER / mean`. `swap_under_load` times the same
+//! round for one reader while a publisher thread storms snapshot
+//! epochs; after the timed rows the bench prints the storm's per-query
+//! p50/p99/max latency so tail behavior during swaps is measured, not
+//! inferred.
+//!
+//! On a single-core container the `readers_2`/`readers_4` rows are
+//! thread-overhead floors, not speedups (see the `BENCH_6.json`
+//! provenance line); re-run on multi-core hardware before citing
+//! scaling numbers.
+//!
+//! Append results to the repo's `BENCH_<n>.json` trajectory with:
+//!
+//! ```sh
+//! CRITERION_JSON_PATH="$PWD/BENCH_6.json" \
+//!   cargo bench -p rsp_bench --bench oracle_serving
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_core::RandomGridAtw;
+use rsp_graph::{generators, FaultSet, Vertex};
+use rsp_oracle::{Oracle, OracleSnapshot};
+
+/// Queries per reader thread per timed iteration.
+const QUERIES_PER_ITER: usize = 64;
+
+/// The far-corner target every query reads a distance for.
+const TARGET: Vertex = 255;
+
+/// The query mix: fault-free, off-tree single faults (fast path), an
+/// on-tree single fault and a mixed pair (engine path), over spread
+/// sources. Returns the pool and the fraction of fast-path cells.
+fn query_pool(oracle: &Oracle<u128>) -> (Vec<(Vertex, FaultSet)>, f64) {
+    let snap = oracle.snapshot();
+    let g = snap.graph();
+    let sources = [0usize, 85, 170, 255];
+    let mut pool = Vec::new();
+    for &s in &sources {
+        let baseline = snap.baseline(s).expect("all sources served");
+        // First hop of the selected route toward TARGET (or the opposite
+        // corner when s is TARGET): failing it forces the engine path.
+        let mut on_tree = None;
+        let mut cur = if s == TARGET { 0 } else { TARGET };
+        while let Some((p, e)) = baseline.parent(cur) {
+            on_tree = Some(e);
+            cur = p;
+        }
+        let on_tree = on_tree.expect("grid is connected");
+        let off_tree = (0..g.m())
+            .find(|&e| {
+                let (u, v) = g.endpoints(e);
+                baseline.parent(u).is_none_or(|(_, pe)| pe != e)
+                    && baseline.parent(v).is_none_or(|(_, pe)| pe != e)
+            })
+            .expect("a grid has non-tree edges");
+        pool.push((s, FaultSet::empty()));
+        pool.push((s, FaultSet::single(off_tree)));
+        pool.push((s, FaultSet::single(on_tree)));
+        pool.push((s, FaultSet::from_edges([on_tree, off_tree])));
+    }
+    let mut scratch = rsp_graph::SearchScratch::with_capacity(g.n());
+    let fast = pool.iter().filter(|(s, f)| snap.query(*s, f, &mut scratch).from_baseline()).count();
+    let fast_fraction = fast as f64 / pool.len() as f64;
+    (pool, fast_fraction)
+}
+
+/// One reader round: `QUERIES_PER_ITER` queries off the pool, rotated by
+/// `tid` so concurrent threads walk different cells.
+fn reader_round(
+    reader: &mut rsp_oracle::OracleReader<u128>,
+    pool: &[(Vertex, FaultSet)],
+    tid: usize,
+) -> u64 {
+    let mut acc = 0u64;
+    for q in 0..QUERIES_PER_ITER {
+        let (s, f) = &pool[(q * 7 + tid) % pool.len()];
+        acc += u64::from(reader.query(*s, f).dist(TARGET).expect("grid stays connected"));
+    }
+    acc
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    let oracle = Oracle::build(&scheme);
+    let (pool, fast_fraction) = query_pool(&oracle);
+    println!(
+        "oracle_serving/u128_grid16x16_f1 pool: {} cells, {:.0}% fast-path",
+        pool.len(),
+        100.0 * fast_fraction
+    );
+
+    let mut group = c.benchmark_group("oracle_serving/u128_grid16x16_f1");
+    let mut inline_reader = oracle.reader();
+    let mut i = 0usize;
+    group.bench_function("inline_reader", |b| {
+        b.iter(|| {
+            let (s, f) = &pool[i % pool.len()];
+            i += 1;
+            inline_reader.query(*s, f).dist(TARGET)
+        })
+    });
+
+    for threads in [1usize, 2, 4] {
+        let mut readers: Vec<_> = (0..threads).map(|_| oracle.reader()).collect();
+        group.bench_function(format!("readers_{threads}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for (tid, reader) in readers.iter_mut().enumerate() {
+                        let pool = &pool;
+                        scope.spawn(move || reader_round(reader, pool, tid));
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_swap_under_load(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    let oracle = Oracle::build(&scheme);
+    let (pool, _) = query_pool(&oracle);
+
+    // Two prebuilt snapshot generations the publisher alternates between
+    // (distinct seeds, same topology): every publish is a pure swap, so
+    // the storm stresses the epoch mechanism, not snapshot compilation.
+    let alternate = RandomGridAtw::theorem20(&g, 43).into_scheme();
+    let generations: Arc<[OracleSnapshot<u128>; 2]> = Arc::new([
+        OracleSnapshot::builder(&scheme).version(1).build(),
+        OracleSnapshot::builder(&alternate).version(2).build(),
+    ]);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let published = Arc::new(AtomicU64::new(0));
+    let publisher = {
+        let (oracle, generations) = (oracle.clone(), Arc::clone(&generations));
+        let (stop, published) = (Arc::clone(&stop), Arc::clone(&published));
+        std::thread::spawn(move || {
+            let mut k = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                oracle.publish(generations[k % 2].clone());
+                published.fetch_add(1, Ordering::Relaxed);
+                k += 1;
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        })
+    };
+
+    let mut group = c.benchmark_group("oracle_serving/u128_grid16x16_swap");
+    let mut reader = oracle.reader();
+    group.bench_function("swap_under_load", |b| b.iter(|| reader_round(&mut reader, &pool, 0)));
+    group.finish();
+
+    // Untimed tail measurement: per-query latency for one reader during
+    // the ongoing storm.
+    let mut lat: Vec<u64> = Vec::with_capacity(20_000);
+    let epochs_before = published.load(Ordering::Relaxed);
+    for q in 0..20_000usize {
+        let (s, f) = &pool[(q * 7) % pool.len()];
+        let t0 = Instant::now();
+        let d = reader.query(*s, f).dist(TARGET);
+        lat.push(t0.elapsed().as_nanos() as u64);
+        assert!(d.is_some());
+    }
+    let epochs_during = published.load(Ordering::Relaxed) - epochs_before;
+    stop.store(true, Ordering::Release);
+    publisher.join().expect("publisher thread");
+
+    lat.sort_unstable();
+    let pick = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    println!(
+        "oracle_serving/u128_grid16x16_swap latency: p50={}ns p99={}ns max={}ns \
+         over {} queries, {} epochs published during storm",
+        pick(0.50),
+        pick(0.99),
+        lat[lat.len() - 1],
+        lat.len(),
+        epochs_during
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_thread_scaling, bench_swap_under_load
+}
+criterion_main!(benches);

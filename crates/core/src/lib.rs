@@ -42,8 +42,11 @@
 //!
 //! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
 //! workspace architecture: the crate layering, the three-level query
-//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
-//! preserver enumeration pipeline.
+//! engine (scratch -> batch/checkpoint -> pool/frontier), the preserver
+//! enumeration pipeline, and the serving layer (its "Serving layer"
+//! chapter — `rsp_oracle` compiles an [`ExactScheme`] into immutable
+//! snapshots served lock-free; prefer it over driving [`Rpts`] queries
+//! directly when answering live fault queries).
 //!
 //! # Paper cross-reference
 //!
@@ -83,7 +86,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod c4;
 mod geometric_atw;

@@ -103,6 +103,46 @@ impl FaultSet {
         self.edges.push(e);
     }
 
+    /// Replaces the contents with an arbitrary (possibly unsorted,
+    /// possibly duplicated) edge list, normalizing in place.
+    ///
+    /// This is the **boundary normalization** the serving layer relies
+    /// on: every `FaultSet` in the workspace is sorted and deduplicated
+    /// by construction, and both the [`FaultSet::contains`] fast path
+    /// and any lookup keyed by fault sets (label caches, snapshot
+    /// routing) assume that canonical representation. `set_from` lets a
+    /// long-lived query buffer absorb raw caller input — duplicate edge
+    /// ids and all — without allocating once its capacity is warm.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::FaultSet;
+    /// let mut f = FaultSet::empty();
+    /// f.set_from([7, 3, 7, 3, 7]);
+    /// assert_eq!(f, FaultSet::from_edges([3, 7]));
+    /// assert_eq!(f.len(), 2);
+    /// ```
+    pub fn set_from(&mut self, edges: impl IntoIterator<Item = EdgeId>) {
+        self.edges.clear();
+        self.edges.extend(edges);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// The normalized (sorted, deduplicated) edge ids as a slice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::FaultSet;
+    /// assert_eq!(FaultSet::from_edges([9, 2, 9]).as_slice(), &[2, 9]);
+    /// ```
+    #[inline]
+    pub fn as_slice(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
     /// Returns a new fault set with `e` additionally failed.
     pub fn with(&self, e: EdgeId) -> FaultSet {
         match self.edges.binary_search(&e) {
@@ -234,6 +274,25 @@ mod tests {
         f.replace_single(7);
         assert_eq!(f.len(), 1);
         assert!(f.contains(7) && !f.contains(4));
+    }
+
+    #[test]
+    fn set_from_normalizes_duplicates_in_place() {
+        // Regression for the serving-layer boundary: raw caller input with
+        // duplicate edge ids must land in the same canonical form that
+        // `from_edges` produces, so `contains` (linear or binary) and any
+        // representation-keyed lookup agree.
+        let mut f = FaultSet::from_edges([100]);
+        f.set_from([5, 1, 5, 5, 1]);
+        assert_eq!(f, FaultSet::from_edges([1, 5]));
+        assert_eq!(f.as_slice(), &[1, 5]);
+        assert!(f.contains(1) && f.contains(5) && !f.contains(100));
+        f.set_from([]);
+        assert_eq!(f, FaultSet::empty());
+        // Above the linear-scan cutoff too: 20 ids, each duplicated.
+        f.set_from((0..40).map(|i| (i % 20) * 2));
+        assert_eq!(f.len(), 20);
+        assert!(f.contains(38) && !f.contains(39));
     }
 
     #[test]

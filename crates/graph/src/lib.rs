@@ -44,8 +44,10 @@
 //!
 //! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
 //! workspace architecture: the crate layering, the three-level query
-//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
-//! preserver enumeration pipeline.
+//! engine (scratch -> batch/checkpoint -> pool/frontier), the preserver
+//! enumeration pipeline, and the serving layer (its "Serving layer"
+//! chapter — `rsp_oracle` serves this crate's query engine behind
+//! immutable snapshots and epoch-swapped lock-free readers).
 //!
 //! # Paper cross-reference
 //!

@@ -17,8 +17,10 @@
 //!
 //! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
 //! workspace architecture: the crate layering, the three-level query
-//! engine (scratch -> batch/checkpoint -> pool/frontier), and the
-//! preserver enumeration pipeline.
+//! engine (scratch -> batch/checkpoint -> pool/frontier), the preserver
+//! enumeration pipeline, and the serving layer (its "Serving layer"
+//! chapter — `rsp_oracle` snapshots can carry a [`DistanceLabeling`]
+//! as a shippable artifact for off-box consumers).
 //!
 //! # Paper cross-reference
 //!
@@ -44,7 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bits;
 mod scheme;

@@ -1,0 +1,64 @@
+//! # `rsp_oracle` — the lock-free routing-oracle serving layer
+//!
+//! Every other crate in this workspace is a *compiler*: it turns a graph
+//! into tiebreaking schemes ([`rsp_core`]), preservers
+//! ([`rsp_preserver`]), or fault labels ([`rsp_labeling`]). This crate
+//! is the *server*: it freezes those outputs into an immutable
+//! [`OracleSnapshot`] and answers `(s, t, F)` queries from any number of
+//! threads with **zero locks and zero allocation on the hot path**,
+//! while a control-plane writer publishes new snapshot epochs under
+//! load without ever blocking a reader.
+//!
+//! The design is the classic router split (RIB/FIB):
+//!
+//! * **Control plane** — [`SnapshotBuilder`] compiles a
+//!   [`rsp_core::ExactScheme`] (plus optional Theorem 26 preserver and
+//!   Theorem 30 fault labels) into flat struct-of-arrays canonical
+//!   trees. Expensive, allocating, single-threaded — and entirely off
+//!   the read path.
+//! * **Publication** — [`Oracle::publish`] swaps the current snapshot
+//!   `Arc` and bumps an epoch counter; in-flight readers keep the old
+//!   epoch alive until they next refresh, then it drops.
+//! * **Data plane** — each serving thread holds an [`OracleReader`]:
+//!   per-query cost is one atomic epoch load, an `O(|F|)` check whether
+//!   the faults touch the precomputed tree, and either a flat-array
+//!   lookup (fast path) or an exact engine run in the reader's own warm
+//!   scratch (slow path). Both are byte-identical to
+//!   [`rsp_core::Rpts::tree_from_with`], proptest-pinned.
+//!
+//! ```
+//! use rsp_core::RandomGridAtw;
+//! use rsp_graph::{generators, FaultSet};
+//! use rsp_oracle::Oracle;
+//!
+//! let g = generators::grid(4, 4);
+//! let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+//!
+//! // Control plane: compile + publish. Data plane: per-thread readers.
+//! let oracle = Oracle::build(&scheme);
+//! let mut reader = oracle.reader();
+//! assert_eq!(reader.dist(0, 15, &FaultSet::single(0)), Some(6));
+//! ```
+//!
+//! See the "Serving layer" chapter of `docs/ARCHITECTURE.md` for the
+//! control/data-plane diagram, the snapshot lifecycle
+//! (build → publish → retire), and guidance on `Oracle` vs the raw
+//! engines.
+//!
+//! ## Paper cross-reference
+//!
+//! | Construct | Paper (Bodwin–Parter, PODC 2021) |
+//! |---|---|
+//! | Canonical tree rows in [`OracleSnapshot`] | the scheme's selected SPTs `π(s, ·)` |
+//! | Fast path "faults miss the tree" | restoration: surviving selected paths stay selected |
+//! | [`SnapshotBuilder::preserver`] | Theorem 26 `S × V` preserver |
+//! | [`SnapshotBuilder::fault_labels`] | Theorem 30 distance labeling |
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod serve;
+mod snapshot;
+
+pub use serve::{Oracle, OracleReader};
+pub use snapshot::{OracleSnapshot, SnapshotBuilder, TreeView};

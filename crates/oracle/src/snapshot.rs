@@ -1,0 +1,467 @@
+//! The data plane's artifact: an immutable, compiled routing snapshot.
+//!
+//! A [`OracleSnapshot`] is everything the control plane precomputes,
+//! frozen into flat arrays so the read path is pointer-chasing-free:
+//!
+//! * the graph and the scheme's per-direction exact costs (owned, so a
+//!   snapshot is self-contained and `'static`);
+//! * one **canonical fault-free tree per serving source**, stored
+//!   struct-of-arrays (`u32` parent vertex / parent edge / hop count,
+//!   plus the exact path cost) — the restoration lemma's "paths you
+//!   already stored";
+//! * optionally, the Theorem 30 **fault labels** and the Theorem 26
+//!   **`S × V` preserver edge set**, the two shippable artifacts a
+//!   deployment distributes to off-box consumers.
+//!
+//! Queries go through [`OracleSnapshot::query`]: a fault set that misses
+//! the source's canonical tree is answered straight from the flat arrays
+//! (zero traversal, zero allocation); one that hits it falls back to the
+//! exact engine inside a caller-held [`SearchScratch`]. Either way the
+//! answer is byte-identical to [`rsp_core::Rpts::tree_from_with`] — the
+//! property suite in `tests/oracle_properties.rs` pins this.
+
+use rsp_arith::PathCost;
+use rsp_core::{ExactScheme, Rpts};
+use rsp_graph::{EdgeId, FaultSet, Graph, Path, SearchScratch, Vertex};
+use rsp_labeling::{build_labeling, DistanceLabeling};
+use rsp_preserver::{ft_sv_preserver, Preserver};
+
+/// Flat-array sentinel: "no parent" / "unreachable" / "not a serving
+/// source". Graph sizes are asserted below `u32::MAX`, so the sentinel
+/// never collides with a real vertex, edge, or hop count.
+const NONE: u32 = u32::MAX;
+
+/// An immutable compiled routing snapshot: the data-plane artifact the
+/// serving layer publishes and readers answer `(s, t, F)` queries from.
+///
+/// Build one with [`OracleSnapshot::builder`]; serve it through
+/// [`crate::Oracle`]. A snapshot is plain owned data (`Send + Sync` for
+/// thread-safe cost types), never mutated after
+/// [`SnapshotBuilder::build`] — concurrent readers need no
+/// synchronization on it whatsoever.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_core::RandomGridAtw;
+/// use rsp_graph::{generators, FaultSet, SearchScratch};
+/// use rsp_oracle::OracleSnapshot;
+///
+/// let g = generators::grid(4, 4);
+/// let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+/// let snap = OracleSnapshot::builder(&scheme).version(1).build();
+///
+/// let mut scratch = SearchScratch::with_capacity(g.n());
+/// let view = snap.query(0, &FaultSet::empty(), &mut scratch);
+/// assert!(view.from_baseline(), "fault-free queries are pure lookups");
+/// assert_eq!(view.dist(15), Some(6));
+/// ```
+#[derive(Clone, Debug)]
+pub struct OracleSnapshot<C> {
+    scheme: ExactScheme<C>,
+    version: u64,
+    /// Serving sources, in row order (row `i` of the flat arrays is the
+    /// canonical tree rooted at `sources[i]`).
+    sources: Vec<Vertex>,
+    /// `source_row[v]` is `v`'s row index, or [`NONE`] if not served.
+    source_row: Vec<u32>,
+    /// Flat `sources.len() × n` row-major arrays of the fault-free
+    /// canonical trees. [`NONE`] marks "no parent" (source or
+    /// unreachable) and, in `hops`, "unreachable".
+    parent_vertex: Vec<u32>,
+    parent_edge: Vec<u32>,
+    hops: Vec<u32>,
+    costs: Vec<C>,
+    labels: Option<DistanceLabeling>,
+    preserver: Option<Preserver>,
+}
+
+/// Configures and compiles an [`OracleSnapshot`] — the control-plane
+/// side of the serving layer.
+///
+/// Obtained from [`OracleSnapshot::builder`]. Building is where all the
+/// cost lives (one exact SPT per serving source, plus the optional
+/// label/preserver constructions); it allocates freely and runs on the
+/// publisher's thread, never on a reader's.
+#[derive(Debug)]
+pub struct SnapshotBuilder<'a, C> {
+    scheme: &'a ExactScheme<C>,
+    sources: Option<Vec<Vertex>>,
+    label_faults: Option<usize>,
+    preserver_faults: Option<usize>,
+    version: u64,
+}
+
+impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
+    fn new(scheme: &'a ExactScheme<C>) -> Self {
+        SnapshotBuilder {
+            scheme,
+            sources: None,
+            label_faults: None,
+            preserver_faults: None,
+            version: 0,
+        }
+    }
+
+    /// Restricts the precomputed canonical trees to these sources
+    /// (default: every vertex). Queries from a non-serving source still
+    /// answer correctly — they always take the engine path.
+    ///
+    /// Duplicates are dropped (first occurrence wins).
+    ///
+    /// # Panics
+    ///
+    /// [`SnapshotBuilder::build`] panics on out-of-range sources.
+    pub fn sources(mut self, sources: impl IntoIterator<Item = Vertex>) -> Self {
+        self.sources = Some(sources.into_iter().collect());
+        self
+    }
+
+    /// Also compile the Theorem 30 fault labels at fault budget `f`
+    /// (queries on the labels tolerate `f + 1` faults). Expensive:
+    /// one `f`-FT preserver per vertex — strictly a control-plane cost.
+    pub fn fault_labels(mut self, f: usize) -> Self {
+        self.label_faults = Some(f);
+        self
+    }
+
+    /// Also compile the Theorem 26 `S × V` preserver edge set over the
+    /// serving sources at fault budget `f`.
+    pub fn preserver(mut self, f: usize) -> Self {
+        self.preserver_faults = Some(f);
+        self
+    }
+
+    /// Tags the snapshot with an application-chosen version number
+    /// (default 0). Readers see it via [`OracleSnapshot::version`] —
+    /// the concurrency suite uses it to prove every answer is
+    /// internally consistent with exactly one published epoch.
+    pub fn version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Compiles the snapshot: one exact fault-free SPT per serving
+    /// source into the flat arrays, plus the optional label/preserver
+    /// artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a serving source is out of range or the graph has
+    /// `u32::MAX` or more vertices/edges.
+    pub fn build(self) -> OracleSnapshot<C> {
+        let scheme = self.scheme.clone();
+        let g = scheme.graph();
+        let n = g.n();
+        assert!(n < NONE as usize, "graph too large for u32 snapshot ids");
+        assert!(g.m() < NONE as usize, "graph too large for u32 snapshot ids");
+
+        let requested: Vec<Vertex> = self.sources.unwrap_or_else(|| g.vertices().collect());
+        let mut source_row = vec![NONE; n];
+        let mut sources = Vec::with_capacity(requested.len());
+        for &s in &requested {
+            assert!(s < n, "serving source {s} out of range");
+            if source_row[s] == NONE {
+                source_row[s] = sources.len() as u32;
+                sources.push(s);
+            }
+        }
+
+        let cells = sources.len() * n;
+        let mut parent_vertex = vec![NONE; cells];
+        let mut parent_edge = vec![NONE; cells];
+        let mut hops = vec![NONE; cells];
+        let mut costs = Vec::new();
+        costs.resize_with(cells, C::zero);
+
+        let mut scratch = SearchScratch::<C>::with_capacity(n);
+        let empty = FaultSet::empty();
+        for (row, &s) in sources.iter().enumerate() {
+            scheme.spt_into(s, &empty, &mut scratch);
+            let base = row * n;
+            for v in g.vertices() {
+                let Some(h) = scratch.hops(v) else { continue };
+                hops[base + v] = h;
+                if let Some(c) = scratch.cost(v) {
+                    costs[base + v].clone_from(c);
+                }
+                if let Some((p, e)) = scratch.parent(v) {
+                    parent_vertex[base + v] = p as u32;
+                    parent_edge[base + v] = e as u32;
+                }
+            }
+        }
+
+        let labels = self.label_faults.map(|f| build_labeling(&scheme, f));
+        let preserver = self.preserver_faults.map(|f| ft_sv_preserver(&scheme, &sources, f));
+
+        OracleSnapshot {
+            scheme,
+            version: self.version,
+            sources,
+            source_row,
+            parent_vertex,
+            parent_edge,
+            hops,
+            costs,
+            labels,
+            preserver,
+        }
+    }
+}
+
+impl<C: PathCost + 'static> OracleSnapshot<C> {
+    /// Starts building a snapshot from a compiled tiebreaking scheme.
+    ///
+    /// The scheme is cloned into the snapshot, so the snapshot outlives
+    /// the builder's borrow and can be shipped across threads.
+    pub fn builder(scheme: &ExactScheme<C>) -> SnapshotBuilder<'_, C> {
+        SnapshotBuilder::new(scheme)
+    }
+
+    /// The underlying fault-free graph `G`.
+    pub fn graph(&self) -> &Graph {
+        self.scheme.graph()
+    }
+
+    /// The compiled tiebreaking scheme the snapshot serves.
+    pub fn scheme(&self) -> &ExactScheme<C> {
+        &self.scheme
+    }
+
+    /// The application-chosen version tag (see
+    /// [`SnapshotBuilder::version`]).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The serving sources, in the order their tree rows are stored.
+    pub fn sources(&self) -> &[Vertex] {
+        &self.sources
+    }
+
+    /// `true` iff `s` has a precomputed canonical tree in this snapshot.
+    pub fn serves(&self, s: Vertex) -> bool {
+        self.row_of(s).is_some()
+    }
+
+    /// The Theorem 30 fault labels, if compiled
+    /// ([`SnapshotBuilder::fault_labels`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::generators;
+    /// use rsp_oracle::OracleSnapshot;
+    ///
+    /// let g = generators::petersen();
+    /// let scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
+    /// let snap = OracleSnapshot::builder(&scheme).fault_labels(0).build();
+    /// let labels = snap.fault_labels().unwrap();
+    /// // Distance recovered from two labels + the fault description only:
+    /// assert_eq!(labels.query(0, 1, &[(0, 1)]), Some(4));
+    /// ```
+    pub fn fault_labels(&self) -> Option<&DistanceLabeling> {
+        self.labels.as_ref()
+    }
+
+    /// The Theorem 26 `S × V` preserver over the serving sources, if
+    /// compiled ([`SnapshotBuilder::preserver`]).
+    pub fn preserver(&self) -> Option<&Preserver> {
+        self.preserver.as_ref()
+    }
+
+    fn row_of(&self, s: Vertex) -> Option<usize> {
+        let row = *self.source_row.get(s)?;
+        (row != NONE).then_some(row as usize)
+    }
+
+    /// `true` iff some fault edge lies on `row`'s canonical tree (the
+    /// condition under which the precomputed answer cannot be used).
+    ///
+    /// An edge `e = (u, v)` is a tree edge iff it is the parent edge of
+    /// `u` or of `v` — an `O(|F|)` check against the flat arrays, no
+    /// per-source edge bitmap needed. Out-of-range ids cannot be tree
+    /// edges (and the engines ignore them too).
+    fn faults_touch_row(&self, row: usize, faults: &FaultSet) -> bool {
+        let g = self.scheme.graph();
+        let base = row * g.n();
+        faults.iter().any(|e| {
+            e < g.m() && {
+                let (u, v) = g.endpoints(e);
+                self.parent_edge[base + u] == e as u32 || self.parent_edge[base + v] == e as u32
+            }
+        })
+    }
+
+    /// The precomputed fault-free canonical tree rooted at `s`, or
+    /// `None` if `s` is not a serving source. Zero-cost: the view
+    /// borrows the flat arrays.
+    pub fn baseline(&self, s: Vertex) -> Option<TreeView<'_, C>> {
+        let row = self.row_of(s)?;
+        Some(TreeView { inner: ViewInner::Baseline { snap: self, row, source: s } })
+    }
+
+    /// Answers the `(s, · , F)` query: the canonical selected tree from
+    /// `s` in `G \ F`, as a borrowed [`TreeView`].
+    ///
+    /// **Fast path** (no traversal, no allocation): if `s` is a serving
+    /// source and no fault edge lies on its canonical tree, the
+    /// precomputed tree *is* the answer — removing non-tree edges
+    /// changes no selected shortest path (the unique minimum-cost paths
+    /// survive and nothing cheaper appears). **Engine path** otherwise:
+    /// an exact search in `G* \ F` inside `scratch`, allocation-free
+    /// once the scratch is warm. Both paths return answers
+    /// byte-identical to [`rsp_core::Rpts::tree_from_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::{generators, FaultSet, SearchScratch};
+    /// use rsp_oracle::OracleSnapshot;
+    ///
+    /// let g = generators::grid(4, 4);
+    /// let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    /// let snap = OracleSnapshot::builder(&scheme).build();
+    /// let mut scratch = SearchScratch::with_capacity(g.n());
+    ///
+    /// // Fail an edge on the selected 0 → 15 route: the query re-routes
+    /// // (engine path) but the distance in the 4×4 grid is unchanged.
+    /// let view = snap.query(0, &FaultSet::empty(), &mut scratch);
+    /// let (u, v) = view.path_to(15).unwrap().steps().next().unwrap();
+    /// let first_hop = g.edge_between(u, v).unwrap();
+    /// let view = snap.query(0, &FaultSet::single(first_hop), &mut scratch);
+    /// assert!(!view.from_baseline());
+    /// assert_eq!(view.dist(15), Some(6));
+    /// ```
+    pub fn query<'q>(
+        &'q self,
+        s: Vertex,
+        faults: &FaultSet,
+        scratch: &'q mut SearchScratch<C>,
+    ) -> TreeView<'q, C> {
+        let g = self.scheme.graph();
+        assert!(s < g.n(), "query source {s} out of range");
+        if let Some(row) = self.row_of(s) {
+            if !self.faults_touch_row(row, faults) {
+                return TreeView { inner: ViewInner::Baseline { snap: self, row, source: s } };
+            }
+        }
+        rsp_graph::dijkstra_into(g, s, faults, self.scheme.directed_costs(), scratch);
+        TreeView { inner: ViewInner::Searched { scratch } }
+    }
+}
+
+/// How a [`TreeView`] answer was produced.
+enum ViewInner<'q, C> {
+    /// Borrowed straight from the snapshot's flat baseline arrays.
+    Baseline { snap: &'q OracleSnapshot<C>, row: usize, source: Vertex },
+    /// Computed by the exact engine into the caller's scratch.
+    Searched { scratch: &'q SearchScratch<C> },
+}
+
+/// One query's answer: the selected tree `π(s, · | F)`, borrowed — from
+/// the snapshot's precomputed arrays or from the caller's scratch —
+/// so reading distances, costs, and parents allocates nothing.
+///
+/// [`TreeView::path_to`] materializes an owned [`Path`] and is the one
+/// allocating accessor; hot paths should read [`TreeView::parent`] /
+/// [`TreeView::dist`] / [`TreeView::cost`] instead.
+pub struct TreeView<'q, C> {
+    inner: ViewInner<'q, C>,
+}
+
+impl<C: PathCost + 'static> TreeView<'_, C> {
+    /// The query's source vertex `s`.
+    pub fn source(&self) -> Vertex {
+        match &self.inner {
+            ViewInner::Baseline { source, .. } => *source,
+            ViewInner::Searched { scratch } => scratch.source(),
+        }
+    }
+
+    /// `true` iff this answer came from the precomputed baseline tree
+    /// (the zero-traversal fast path).
+    pub fn from_baseline(&self) -> bool {
+        matches!(self.inner, ViewInner::Baseline { .. })
+    }
+
+    /// `true` iff `t` is reachable from the source in `G \ F`.
+    pub fn reached(&self, t: Vertex) -> bool {
+        match &self.inner {
+            ViewInner::Baseline { snap, row, .. } => {
+                t < snap.graph().n() && snap.hops[row * snap.graph().n() + t] != NONE
+            }
+            ViewInner::Searched { scratch } => scratch.reached(t),
+        }
+    }
+
+    /// Hop count (= unweighted distance `dist_{G\F}(s, t)`, since
+    /// selected paths are shortest) of the selected path to `t`, or
+    /// `None` if unreachable.
+    pub fn dist(&self, t: Vertex) -> Option<u32> {
+        match &self.inner {
+            ViewInner::Baseline { snap, row, .. } => {
+                let h = *snap.hops.get(row * snap.graph().n() + t)?;
+                (h != NONE).then_some(h)
+            }
+            ViewInner::Searched { scratch } => scratch.hops(t),
+        }
+    }
+
+    /// Exact perturbed cost of the selected path to `t`, or `None` if
+    /// unreachable.
+    pub fn cost(&self, t: Vertex) -> Option<&C> {
+        match &self.inner {
+            ViewInner::Baseline { snap, row, .. } => {
+                let base = row * snap.graph().n();
+                (*snap.hops.get(base + t)? != NONE).then(|| &snap.costs[base + t])
+            }
+            ViewInner::Searched { scratch } => scratch.cost(t),
+        }
+    }
+
+    /// Parent of `t` in the selected tree as `(vertex, edge id)`, or
+    /// `None` for the source and unreachable vertices. This is the
+    /// routing next hop *toward the source* — the MPLS-table view.
+    pub fn parent(&self, t: Vertex) -> Option<(Vertex, EdgeId)> {
+        match &self.inner {
+            ViewInner::Baseline { snap, row, .. } => {
+                let base = row * snap.graph().n();
+                let p = *snap.parent_vertex.get(base + t)?;
+                (p != NONE).then(|| (p as Vertex, snap.parent_edge[base + t] as EdgeId))
+            }
+            ViewInner::Searched { scratch } => scratch.parent(t),
+        }
+    }
+
+    /// The selected path `π(s, t | F)`, or `None` if `t` is unreachable.
+    ///
+    /// Allocates the returned [`Path`] — use the zero-allocation
+    /// accessors on the hot path and this for result materialization.
+    pub fn path_to(&self, t: Vertex) -> Option<Path> {
+        match &self.inner {
+            ViewInner::Baseline { source, .. } => {
+                if !self.reached(t) {
+                    return None;
+                }
+                let mut verts = vec![t];
+                let mut cur = t;
+                while cur != *source {
+                    let (p, _) = self.parent(cur).expect("reached non-source has a parent");
+                    verts.push(p);
+                    cur = p;
+                }
+                verts.reverse();
+                Some(Path::new(verts))
+            }
+            ViewInner::Searched { scratch } => scratch.path_to(t),
+        }
+    }
+}

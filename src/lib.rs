@@ -21,6 +21,11 @@
 //! * [`spanner`] — fault-tolerant +4 additive spanners (Lemma 32,
 //!   Theorem 7);
 //! * [`labeling`] — fault-tolerant exact distance labels (Theorem 10);
+//! * [`oracle`] — **the recommended serving API**: immutable compiled
+//!   routing snapshots ([`oracle::OracleSnapshot`]) served lock-free to
+//!   any number of reader threads through epoch-swapped
+//!   [`oracle::Oracle`] / [`oracle::OracleReader`] handles — use this,
+//!   not the raw engines, when answering live `(s, t, F)` queries;
 //! * [`congest`] — the CONGEST simulator and distributed constructions
 //!   (Lemma 34, Theorem 35, Lemma 36, Theorem 8, Corollary 9);
 //! * [`dag`] — the Section 1.2 future-work direction: DAG substrate and
@@ -32,8 +37,9 @@
 //! of PAPER.md; `docs/ARCHITECTURE.md` at the repository root is the
 //! canonical guide-level architecture — the crate layering, the
 //! three-level query engine (scratch -> batch/checkpoint ->
-//! pool/frontier), and the preserver enumeration pipeline — which
-//! README.md's "Architecture" section summarizes.
+//! pool/frontier), the preserver enumeration pipeline, and the serving
+//! layer's control/data-plane split — which README.md's "Architecture"
+//! section summarizes.
 //!
 //! # Quickstart
 //!
@@ -50,6 +56,24 @@
 //! let path = restore_single_fault(&scheme, 0, 15, failed).unwrap();
 //! assert!(path.avoids(&g, &FaultSet::single(failed)));
 //! ```
+//!
+//! # Serving queries
+//!
+//! To *serve* fault queries (rather than run one-off computations),
+//! compile the scheme into an immutable snapshot and read it lock-free
+//! — see the "Serving layer" chapter of `docs/ARCHITECTURE.md`:
+//!
+//! ```
+//! use restorable_tiebreaking::core::RandomGridAtw;
+//! use restorable_tiebreaking::graph::{generators, FaultSet};
+//! use restorable_tiebreaking::oracle::Oracle;
+//!
+//! let g = generators::grid(4, 4);
+//! let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+//! let oracle = Oracle::build(&scheme); // control plane: compile + publish
+//! let mut reader = oracle.reader(); // data plane: one handle per thread
+//! assert_eq!(reader.dist(0, 15, &FaultSet::single(0)), Some(6));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,6 +85,7 @@ pub use rsp_dag as dag;
 pub use rsp_graph as graph;
 pub use rsp_labeling as labeling;
 pub use rsp_mpls as mpls;
+pub use rsp_oracle as oracle;
 pub use rsp_preserver as preserver;
 pub use rsp_replacement as replacement;
 pub use rsp_spanner as spanner;
