@@ -1,0 +1,138 @@
+//! Churn control-plane benchmarks: fault-event ingestion throughput,
+//! commit (rebuild + cross-check + publish) latency, and the full
+//! injection-convergence cycle.
+//!
+//! Three regimes, mirroring `rsp_oracle::churn`'s contract:
+//!
+//! * `ingest_events_hostile` — wire-frame ingestion through decode →
+//!   validate → journal/quarantine, fed the seeded hostile mix (drops,
+//!   duplicates, reorders, corruptions). One iteration ingests the whole
+//!   pre-perturbed frame batch, so events/sec is
+//!   `FRAMES / mean`; the untimed events/sec line after the timed rows
+//!   reports it directly, with the accept/quarantine split.
+//! * `commit_rebuild` — one pending event, one commit: snapshot
+//!   recompilation under `catch_unwind`, the 4-source batch-engine
+//!   cross-check, and the epoch swap. This is the control plane's cost
+//!   per published epoch.
+//! * `injection_convergence` — the end-to-end harness cycle on a
+//!   smaller grid: perturb a valid trace, ingest every delivered frame,
+//!   commit, and verify full convergence (published snapshot equal to a
+//!   fresh engine run on the accepted fault state, every cell).
+//!
+//! Append results to the repo's `BENCH_<n>.json` trajectory with:
+//!
+//! ```sh
+//! CRITERION_JSON_PATH="$PWD/BENCH_7.json" \
+//!   cargo bench -p rsp_bench --bench oracle_churn
+//! ```
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsp_core::RandomGridAtw;
+use rsp_graph::{generators, FaultEvent};
+use rsp_oracle::churn::inject::{random_trace, verify_converged, InjectionPlan, StreamInjector};
+use rsp_oracle::churn::ChurnPipeline;
+
+/// Events in the hostile ingestion batch (before drops/duplicates).
+const TRACE_LEN: usize = 512;
+
+fn bench_ingest_and_commit(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    let mut pipeline = ChurnPipeline::new(&scheme).expect("fault-free build succeeds");
+    pipeline.set_sleeper(|_| {}); // benches never sleep through backoff
+
+    let trace = random_trace(&g, TRACE_LEN, 0x1057);
+    let frames = StreamInjector::new(InjectionPlan::hostile(0x1057)).perturb(&trace);
+    println!(
+        "oracle_churn/u128_grid16x16 hostile batch: {} events -> {} delivered frames",
+        TRACE_LEN,
+        frames.len()
+    );
+
+    let mut group = c.benchmark_group("oracle_churn/u128_grid16x16");
+    group.bench_function("ingest_events_hostile", |b| {
+        b.iter(|| {
+            let mut accepted = 0usize;
+            for frame in &frames {
+                accepted += usize::from(pipeline.ingest_wire(frame).is_ok());
+            }
+            accepted
+        })
+    });
+
+    // Bring the pipeline current so each commit iteration publishes
+    // exactly one pending event (arrive/repair toggles keep it valid).
+    pipeline.commit().expect("commit after ingestion");
+    group.bench_function("commit_rebuild", |b| {
+        b.iter(|| {
+            let ev = if pipeline.fault_state().faults().contains(0) {
+                FaultEvent::Repair(0)
+            } else {
+                FaultEvent::Arrive(0)
+            };
+            pipeline.ingest(ev).expect("toggle event is always admissible");
+            pipeline.commit().expect("healthy commit publishes").epoch
+        })
+    });
+    group.finish();
+
+    // Untimed events/sec measurement on a fresh pipeline (warm caches,
+    // no accumulated quarantine): the operational throughput number.
+    let mut fresh = ChurnPipeline::new(&scheme).expect("fault-free build succeeds");
+    fresh.set_sleeper(|_| {});
+    let t0 = Instant::now();
+    for frame in &frames {
+        let _ = fresh.ingest_wire(frame);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let health = fresh.health();
+    println!(
+        "oracle_churn/u128_grid16x16 ingest: {:.0} events/sec \
+         ({} accepted, {} quarantined of {} frames)",
+        frames.len() as f64 / secs,
+        health.accepted_seq,
+        health.quarantined_total,
+        frames.len()
+    );
+}
+
+fn bench_injection_convergence(c: &mut Criterion) {
+    let g = generators::grid(8, 8);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    let mut pipeline = ChurnPipeline::new(&scheme).expect("fault-free build succeeds");
+    pipeline.set_sleeper(|_| {});
+    let trace = random_trace(&g, 96, 0xc0ff_ee00);
+    let mut injector = StreamInjector::new(InjectionPlan::hostile(0xc0ff_ee00));
+
+    let mut group = c.benchmark_group("oracle_churn/u128_grid8x8");
+    group.bench_function("injection_convergence", |b| {
+        b.iter(|| {
+            for frame in injector.perturb(&trace) {
+                let _ = pipeline.ingest_wire(&frame);
+            }
+            pipeline.commit().expect("hostile wire input never stalls a healthy builder");
+            verify_converged(&pipeline).expect("published snapshot matches the engines");
+        })
+    });
+    group.finish();
+
+    let health = pipeline.health();
+    println!(
+        "oracle_churn/u128_grid8x8 injection-convergence: {} commits, \
+         {} events accepted, {} quarantined, {} full rebuilds, converged=yes",
+        health.commits, health.accepted_seq, health.quarantined_total, health.full_rebuilds
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ingest_and_commit, bench_injection_convergence
+}
+criterion_main!(benches);

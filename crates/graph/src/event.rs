@@ -1,0 +1,357 @@
+//! Fault churn events: the `fault arrives / fault repairs` stream.
+//!
+//! Production routing does not receive a fault set `F` — it receives a
+//! *stream* of link-state changes: an edge goes down
+//! ([`FaultEvent::Arrive`]), an edge comes back up
+//! ([`FaultEvent::Repair`]). This module supplies the graph-level half
+//! of that pipeline:
+//!
+//! * [`FaultEvent`] — one churn event, with a tiny fixed-width wire
+//!   codec ([`FaultEvent::encode`] / [`FaultEvent::decode`]) so the
+//!   serving boundary can consume raw frames without trusting them;
+//! * [`FaultState`] — the running fault set, folding events in with
+//!   **validation**: out-of-range edge ids, duplicate arrivals, and
+//!   repairs of never-faulted edges are *rejected with a typed reason*
+//!   ([`FaultEventError`]), never applied and never a panic.
+//!
+//! The serving-layer pipeline (`rsp_oracle::churn`) wraps these with
+//! quarantine bookkeeping, journaling, and snapshot recompilation; see
+//! the "Churn pipeline & degraded modes" chapter of
+//! `docs/ARCHITECTURE.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_graph::{FaultEvent, FaultEventError, FaultState};
+//!
+//! let mut state = FaultState::new(10); // a graph with 10 edges
+//! state.apply(FaultEvent::Arrive(3)).unwrap();
+//! assert!(state.faults().contains(3));
+//!
+//! // A duplicate arrival is rejected, not silently merged: the stream
+//! // is out of sync with reality and the caller should know.
+//! assert_eq!(
+//!     state.apply(FaultEvent::Arrive(3)),
+//!     Err(FaultEventError::AlreadyFaulted { edge: 3 }),
+//! );
+//!
+//! state.apply(FaultEvent::Repair(3)).unwrap();
+//! assert!(state.faults().is_empty());
+//! ```
+
+use crate::fault::FaultSet;
+use crate::graph::{EdgeId, Graph};
+
+/// One edge churn event: a fault arriving on an edge or an existing
+/// fault being repaired.
+///
+/// Events carry raw edge ids exactly as a link-state feed would; all
+/// validation (range, state transitions) happens when the event is
+/// folded into a [`FaultState`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultEvent {
+    /// Edge `e` failed: it must be added to the fault set.
+    Arrive(EdgeId),
+    /// Edge `e` recovered: it must be removed from the fault set.
+    Repair(EdgeId),
+}
+
+/// Wire frame length of one encoded [`FaultEvent`]: 1 tag byte + 8 edge
+/// id bytes.
+pub const WIRE_EVENT_LEN: usize = 9;
+
+const TAG_ARRIVE: u8 = 0x01;
+const TAG_REPAIR: u8 = 0x02;
+
+/// Why a wire frame failed to decode into a [`FaultEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireEventError {
+    /// The frame is not exactly [`WIRE_EVENT_LEN`] bytes.
+    BadLength {
+        /// The length received.
+        got: usize,
+    },
+    /// The tag byte is neither the arrive nor the repair tag.
+    BadTag {
+        /// The tag byte received.
+        tag: u8,
+    },
+    /// The edge id does not fit in this platform's `usize`.
+    EdgeOverflow {
+        /// The 64-bit edge id received.
+        edge: u64,
+    },
+}
+
+impl std::fmt::Display for WireEventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireEventError::BadLength { got } => {
+                write!(f, "wire event frame has {got} bytes, expected {WIRE_EVENT_LEN}")
+            }
+            WireEventError::BadTag { tag } => write!(f, "unknown wire event tag {tag:#04x}"),
+            WireEventError::EdgeOverflow { edge } => {
+                write!(f, "wire edge id {edge} overflows usize")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireEventError {}
+
+impl FaultEvent {
+    /// The edge the event concerns.
+    #[inline]
+    pub fn edge(self) -> EdgeId {
+        match self {
+            FaultEvent::Arrive(e) | FaultEvent::Repair(e) => e,
+        }
+    }
+
+    /// Encodes the event as a fixed [`WIRE_EVENT_LEN`]-byte frame:
+    /// one tag byte followed by the edge id as a little-endian `u64`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::FaultEvent;
+    /// let ev = FaultEvent::Arrive(7);
+    /// assert_eq!(FaultEvent::decode(&ev.encode()), Ok(ev));
+    /// ```
+    pub fn encode(self) -> [u8; WIRE_EVENT_LEN] {
+        let mut frame = [0u8; WIRE_EVENT_LEN];
+        frame[0] = match self {
+            FaultEvent::Arrive(_) => TAG_ARRIVE,
+            FaultEvent::Repair(_) => TAG_REPAIR,
+        };
+        frame[1..].copy_from_slice(&(self.edge() as u64).to_le_bytes());
+        frame
+    }
+
+    /// Decodes a wire frame, rejecting malformed input with a typed
+    /// error — **never a panic**, whatever the bytes. This is the
+    /// serving boundary's first validation gate; the proptest suite in
+    /// `rsp_oracle` feeds it arbitrary byte garbage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::{FaultEvent, WireEventError};
+    /// assert_eq!(FaultEvent::decode(&[0xff]), Err(WireEventError::BadLength { got: 1 }));
+    /// ```
+    pub fn decode(frame: &[u8]) -> Result<FaultEvent, WireEventError> {
+        if frame.len() != WIRE_EVENT_LEN {
+            return Err(WireEventError::BadLength { got: frame.len() });
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&frame[1..]);
+        let raw = u64::from_le_bytes(id);
+        let edge: EdgeId =
+            raw.try_into().map_err(|_| WireEventError::EdgeOverflow { edge: raw })?;
+        match frame[0] {
+            TAG_ARRIVE => Ok(FaultEvent::Arrive(edge)),
+            TAG_REPAIR => Ok(FaultEvent::Repair(edge)),
+            tag => Err(WireEventError::BadTag { tag }),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultEvent::Arrive(e) => write!(f, "arrive({e})"),
+            FaultEvent::Repair(e) => write!(f, "repair({e})"),
+        }
+    }
+}
+
+/// Why a [`FaultEvent`] was rejected by [`FaultState::apply`].
+///
+/// Each variant is a *stream integrity* signal: the event disagrees
+/// with either the graph (range) or the state the stream itself built
+/// (transitions), so applying it would corrupt the fault set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEventError {
+    /// The edge id is `≥ m` for this graph.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// The graph's edge count.
+        m: usize,
+    },
+    /// An arrival for an edge that is already faulted.
+    AlreadyFaulted {
+        /// The offending edge id.
+        edge: EdgeId,
+    },
+    /// A repair for an edge that is not currently faulted.
+    NotFaulted {
+        /// The offending edge id.
+        edge: EdgeId,
+    },
+}
+
+impl std::fmt::Display for FaultEventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultEventError::EdgeOutOfRange { edge, m } => {
+                write!(f, "edge {edge} out of range (graph has {m} edges)")
+            }
+            FaultEventError::AlreadyFaulted { edge } => {
+                write!(f, "arrival for already-faulted edge {edge}")
+            }
+            FaultEventError::NotFaulted { edge } => {
+                write!(f, "repair for non-faulted edge {edge}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultEventError {}
+
+/// The running fault set of a churn stream, with validated transitions.
+///
+/// A `FaultState` is the fold of the *accepted* prefix of an event
+/// stream over a graph with `m` edges. [`FaultState::apply`] either
+/// updates the set or rejects the event with a [`FaultEventError`];
+/// rejected events leave the state untouched, so a consumer can
+/// quarantine them and keep going.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_graph::{generators, FaultEvent, FaultState};
+///
+/// let g = generators::cycle(4);
+/// let mut state = FaultState::for_graph(&g);
+/// state.apply(FaultEvent::Arrive(0)).unwrap();
+/// state.apply(FaultEvent::Arrive(2)).unwrap();
+/// state.apply(FaultEvent::Repair(0)).unwrap();
+/// assert_eq!(state.faults().as_slice(), &[2]);
+/// assert!(state.apply(FaultEvent::Arrive(99)).is_err()); // out of range
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultState {
+    m: usize,
+    faults: FaultSet,
+}
+
+impl FaultState {
+    /// An empty fault state for a graph with `m` edges.
+    pub fn new(m: usize) -> Self {
+        FaultState { m, faults: FaultSet::empty() }
+    }
+
+    /// An empty fault state sized for `g`.
+    pub fn for_graph(g: &Graph) -> Self {
+        FaultState::new(g.m())
+    }
+
+    /// Validates `ev` against the graph and the current state, and
+    /// applies it if valid. On `Err` the state is unchanged.
+    pub fn apply(&mut self, ev: FaultEvent) -> Result<(), FaultEventError> {
+        let edge = ev.edge();
+        if edge >= self.m {
+            return Err(FaultEventError::EdgeOutOfRange { edge, m: self.m });
+        }
+        match ev {
+            FaultEvent::Arrive(e) => {
+                if !self.faults.insert(e) {
+                    return Err(FaultEventError::AlreadyFaulted { edge: e });
+                }
+            }
+            FaultEvent::Repair(e) => {
+                if !self.faults.remove(e) {
+                    return Err(FaultEventError::NotFaulted { edge: e });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` iff `ev` would be accepted by [`FaultState::apply`],
+    /// without applying it.
+    pub fn admits(&self, ev: FaultEvent) -> bool {
+        let edge = ev.edge();
+        edge < self.m
+            && match ev {
+                FaultEvent::Arrive(e) => !self.faults.contains(e),
+                FaultEvent::Repair(e) => self.faults.contains(e),
+            }
+    }
+
+    /// The current fault set (the fold of all accepted events).
+    #[inline]
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The edge count events are validated against.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Number of currently faulted edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` iff no edges are currently faulted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips() {
+        for ev in [FaultEvent::Arrive(0), FaultEvent::Repair(0), FaultEvent::Arrive(usize::MAX)] {
+            assert_eq!(FaultEvent::decode(&ev.encode()), Ok(ev));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(FaultEvent::decode(&[]), Err(WireEventError::BadLength { got: 0 }));
+        assert_eq!(
+            FaultEvent::decode(&[TAG_ARRIVE; 10]),
+            Err(WireEventError::BadLength { got: 10 })
+        );
+        let mut frame = FaultEvent::Arrive(5).encode();
+        frame[0] = 0x7f;
+        assert_eq!(FaultEvent::decode(&frame), Err(WireEventError::BadTag { tag: 0x7f }));
+    }
+
+    #[test]
+    fn state_transitions_validated() {
+        let mut st = FaultState::new(4);
+        assert_eq!(
+            st.apply(FaultEvent::Arrive(4)),
+            Err(FaultEventError::EdgeOutOfRange { edge: 4, m: 4 })
+        );
+        assert_eq!(st.apply(FaultEvent::Repair(1)), Err(FaultEventError::NotFaulted { edge: 1 }));
+        st.apply(FaultEvent::Arrive(1)).unwrap();
+        assert_eq!(
+            st.apply(FaultEvent::Arrive(1)),
+            Err(FaultEventError::AlreadyFaulted { edge: 1 })
+        );
+        assert!(st.admits(FaultEvent::Repair(1)));
+        assert!(!st.admits(FaultEvent::Arrive(1)));
+        st.apply(FaultEvent::Repair(1)).unwrap();
+        assert!(st.is_empty());
+        // Rejected events left the state untouched throughout.
+        assert_eq!(st, FaultState::new(4));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(FaultEvent::Arrive(3).to_string(), "arrive(3)");
+        assert_eq!(FaultEvent::Repair(9).to_string(), "repair(9)");
+    }
+}

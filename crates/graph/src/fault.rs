@@ -143,6 +143,56 @@ impl FaultSet {
         &self.edges
     }
 
+    /// Inserts `e` in place, keeping the canonical sorted-dedup form.
+    /// Returns `true` iff `e` was newly inserted.
+    ///
+    /// The in-place companion of [`FaultSet::with`] for long-lived
+    /// states that churn (the `fault arrives` half of
+    /// [`crate::FaultState`]): no clone, one `O(|F|)` shift.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::FaultSet;
+    /// let mut f = FaultSet::from_edges([5]);
+    /// assert!(f.insert(2));
+    /// assert!(!f.insert(2));
+    /// assert_eq!(f.as_slice(), &[2, 5]);
+    /// ```
+    pub fn insert(&mut self, e: EdgeId) -> bool {
+        match self.edges.binary_search(&e) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.edges.insert(pos, e);
+                true
+            }
+        }
+    }
+
+    /// Removes `e` in place. Returns `true` iff `e` was present.
+    ///
+    /// The in-place companion of [`FaultSet::without`] (the
+    /// `fault repairs` half of [`crate::FaultState`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::FaultSet;
+    /// let mut f = FaultSet::from_edges([2, 5]);
+    /// assert!(f.remove(5));
+    /// assert!(!f.remove(5));
+    /// assert_eq!(f.as_slice(), &[2]);
+    /// ```
+    pub fn remove(&mut self, e: EdgeId) -> bool {
+        match self.edges.binary_search(&e) {
+            Ok(pos) => {
+                self.edges.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Returns a new fault set with `e` additionally failed.
     pub fn with(&self, e: EdgeId) -> FaultSet {
         match self.edges.binary_search(&e) {

@@ -11,6 +11,10 @@
 //!   graph with stable edge identifiers;
 //! * [`GraphBuilder`] — incremental, validating construction;
 //! * [`FaultSet`] — a small set of failed edges, the `F` of the paper;
+//! * [`FaultEvent`] / [`FaultState`] — the churn half of fault handling:
+//!   a validated `fault arrives / fault repairs` event stream (with a
+//!   fixed-width wire codec) folding into a running fault set, the
+//!   substrate of `rsp_oracle`'s churn-hardened control plane;
 //! * [`bfs`] — breadth-first search honoring fault sets (unweighted
 //!   distances, the ground truth all experiments compare against);
 //! * [`dijkstra`] — an *exact-cost* Dijkstra, generic over
@@ -84,6 +88,7 @@ mod bfs;
 mod builder;
 mod connectivity;
 mod dijkstra;
+mod event;
 mod fault;
 pub mod generators;
 mod graph;
@@ -103,6 +108,7 @@ pub use bfs::{bfs, bfs_all_pairs, BfsTree};
 pub use builder::{GraphBuilder, GraphError};
 pub use connectivity::{components, connected_pair, diameter, is_connected, is_connected_avoiding};
 pub use dijkstra::dijkstra;
+pub use event::{FaultEvent, FaultEventError, FaultState, WireEventError, WIRE_EVENT_LEN};
 pub use fault::FaultSet;
 pub use graph::{EdgeId, Graph, Vertex};
 pub use io::{from_edge_list_str, to_edge_list_string, ParseGraphError};

@@ -1,0 +1,793 @@
+//! The churn-hardened control plane: fault-event ingestion, validated
+//! folding, panic-isolated recompilation, and degraded serving.
+//!
+//! A [`ChurnPipeline`] consumes the `fault arrives / fault repairs`
+//! stream of a live network and keeps an [`Oracle`] serving through it.
+//! The robustness contract — what this module exists for — is:
+//!
+//! * **Validation & quarantine.** Every event is validated against the
+//!   graph and the stream's own state ([`rsp_graph::FaultState`]):
+//!   out-of-range ids, duplicate arrivals, repairs of never-faulted
+//!   edges, and undecodable wire frames are **quarantined with a typed
+//!   reason** ([`QuarantineReason`]) — never applied, never a panic.
+//! * **Panic-isolated publish.** Snapshot recompilation runs under
+//!   [`std::panic::catch_unwind`]; a build that panics, fails
+//!   validation, or is **rejected by the cross-check** (sampled sources
+//!   compared against [`rsp_graph::dijkstra_batch`] ground truth) never
+//!   reaches readers.
+//! * **Last-good-snapshot degraded serving.** While builds fail,
+//!   readers keep answering from the last good snapshot; staleness is
+//!   *exposed*, not hidden — [`ChurnHealth`] reports the pending-event
+//!   count and the published epoch/sequence lag.
+//! * **Retry, backoff, escalation.** Failed builds retry with
+//!   exponential backoff up to [`ChurnConfig::retry_budget`], then
+//!   escalate to a from-scratch full rebuild that re-derives the fault
+//!   state from the journal.
+//! * **Deterministic recovery.** The accepted-event journal is
+//!   append-only; [`ChurnPipeline::replay`] reconstructs an identical
+//!   pipeline from it after a crash.
+//!
+//! The seeded fault-injection harness in [`inject`] drives all of this
+//! in `crates/oracle/tests/churn_robustness.rs`: dropped, duplicated,
+//! reordered, and corrupted wire streams plus builder panics at chosen
+//! steps, asserting the oracle never serves an answer inconsistent with
+//! its published snapshot and always converges once injection stops.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_core::RandomGridAtw;
+//! use rsp_graph::{generators, FaultEvent, FaultSet};
+//! use rsp_oracle::churn::ChurnPipeline;
+//!
+//! let g = generators::grid(4, 4);
+//! let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+//! let mut pipeline = ChurnPipeline::new(&scheme).unwrap();
+//! let mut reader = pipeline.reader();
+//!
+//! // An edge fails on the wire: validate, fold, recompile, publish.
+//! let e = g.edge_between(0, 1).unwrap();
+//! pipeline.ingest(FaultEvent::Arrive(e)).unwrap();
+//! let report = pipeline.commit().unwrap();
+//! assert!(report.published);
+//!
+//! // Readers need no new API: a fault-free wire query now routes
+//! // around the failed edge baked into the published snapshot.
+//! assert_eq!(reader.query(0, &FaultSet::empty()).dist(1), Some(3));
+//!
+//! // A duplicate arrival is quarantined, not applied and not a panic.
+//! assert!(pipeline.ingest(FaultEvent::Arrive(e)).is_err());
+//! assert_eq!(pipeline.quarantined().len(), 1);
+//! assert_eq!(pipeline.health().pending_events, 0);
+//! ```
+
+use std::any::Any;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rsp_arith::PathCost;
+use rsp_core::{ExactScheme, Rpts};
+use rsp_graph::{
+    dijkstra_batch, BatchScratch, FaultEvent, FaultEventError, FaultSet, FaultState, Vertex,
+    WireEventError,
+};
+
+use crate::serve::{Oracle, OracleReader};
+use crate::snapshot::{BuildError, OracleSnapshot};
+
+#[path = "inject.rs"]
+pub mod inject;
+
+/// Tuning knobs for a [`ChurnPipeline`].
+///
+/// The defaults suit tests and small deployments; production control
+/// planes will want a larger backoff base and more cross-check sources.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Incremental build attempts per [`ChurnPipeline::commit`] before
+    /// escalating to a from-scratch full rebuild (default 3).
+    pub retry_budget: u32,
+    /// Backoff before retry `k` is `backoff_base × 2^k` (default 5ms).
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay (default 500ms).
+    pub backoff_cap: Duration,
+    /// Number of sources sampled for the batch-engine cross-check of
+    /// every built snapshot; `0` disables the gate (default 4).
+    pub cross_check_sources: usize,
+    /// Seed for the deterministic cross-check source sample (mixed with
+    /// the target sequence number, so every build checks fresh rows).
+    pub cross_check_seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            retry_budget: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(500),
+            cross_check_sources: 4,
+            cross_check_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// The exponential-backoff delay before retrying after failed
+    /// attempt `attempt` (0-based): `backoff_base × 2^attempt`, capped
+    /// at [`ChurnConfig::backoff_cap`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use rsp_oracle::churn::ChurnConfig;
+    ///
+    /// let cfg = ChurnConfig {
+    ///     backoff_base: Duration::from_millis(10),
+    ///     backoff_cap: Duration::from_millis(35),
+    ///     ..ChurnConfig::default()
+    /// };
+    /// assert_eq!(cfg.backoff(0), Duration::from_millis(10));
+    /// assert_eq!(cfg.backoff(1), Duration::from_millis(20));
+    /// assert_eq!(cfg.backoff(2), Duration::from_millis(35)); // capped
+    /// ```
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let mult = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.backoff_base.checked_mul(mult).map_or(self.backoff_cap, |d| d.min(self.backoff_cap))
+    }
+}
+
+/// Why an offered event was quarantined instead of applied.
+///
+/// [`QuarantineReason::code`] gives the stable short form for
+/// operational counters and logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The wire frame failed to decode at all.
+    Wire(WireEventError),
+    /// The decoded event failed graph/state validation.
+    Event(FaultEventError),
+}
+
+impl QuarantineReason {
+    /// A stable short reason code (`"bad-length"`, `"bad-tag"`,
+    /// `"edge-overflow"`, `"edge-out-of-range"`, `"duplicate-arrival"`,
+    /// `"repair-without-fault"`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            QuarantineReason::Wire(WireEventError::BadLength { .. }) => "bad-length",
+            QuarantineReason::Wire(WireEventError::BadTag { .. }) => "bad-tag",
+            QuarantineReason::Wire(WireEventError::EdgeOverflow { .. }) => "edge-overflow",
+            QuarantineReason::Event(FaultEventError::EdgeOutOfRange { .. }) => "edge-out-of-range",
+            QuarantineReason::Event(FaultEventError::AlreadyFaulted { .. }) => "duplicate-arrival",
+            QuarantineReason::Event(FaultEventError::NotFaulted { .. }) => "repair-without-fault",
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::Wire(e) => write!(f, "quarantined ({}): {e}", self.code()),
+            QuarantineReason::Event(e) => write!(f, "quarantined ({}): {e}", self.code()),
+        }
+    }
+}
+
+impl std::error::Error for QuarantineReason {}
+
+/// One quarantined event: what arrived, where in the offered stream,
+/// and why it was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedEvent {
+    /// 0-based position in the *offered* stream (accepted + quarantined).
+    pub index: u64,
+    /// The decoded event, or `None` when the frame never decoded.
+    pub event: Option<FaultEvent>,
+    /// Why it was quarantined.
+    pub reason: QuarantineReason,
+}
+
+/// Why one snapshot build attempt failed.
+#[derive(Clone, Debug)]
+pub enum BuildFailure {
+    /// The builder panicked; the payload message is preserved.
+    Panicked(String),
+    /// The builder rejected the configuration.
+    Rejected(BuildError),
+    /// The built snapshot disagreed with the batch engine on a sampled
+    /// cell — it was discarded before publication.
+    CrossCheckMismatch {
+        /// The sampled source whose tree row disagreed.
+        source: Vertex,
+        /// The vertex at which the disagreement was detected.
+        target: Vertex,
+    },
+    /// Replaying the journal during a full rebuild rejected an event —
+    /// the journal itself is corrupt (this indicates an internal bug or
+    /// external tampering, and is surfaced rather than panicking).
+    JournalCorrupt(FaultEventError),
+}
+
+impl std::fmt::Display for BuildFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildFailure::Panicked(msg) => write!(f, "builder panicked: {msg}"),
+            BuildFailure::Rejected(e) => write!(f, "builder rejected configuration: {e}"),
+            BuildFailure::CrossCheckMismatch { source, target } => {
+                write!(f, "cross-check mismatch at source {source}, target {target}")
+            }
+            BuildFailure::JournalCorrupt(e) => write!(f, "journal replay rejected event: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildFailure {}
+
+/// A [`ChurnPipeline::commit`] call that exhausted its retry budget
+/// *and* the full-rebuild escalation. The oracle keeps serving the last
+/// good snapshot; the next `commit` starts a fresh attempt cycle.
+#[derive(Clone, Debug)]
+pub struct ChurnStalled {
+    /// Build attempts made by this commit call (incremental + full).
+    pub attempts: u32,
+    /// The failure that ended the last attempt.
+    pub last_failure: BuildFailure,
+}
+
+impl std::fmt::Display for ChurnStalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "churn commit stalled after {} attempts (serving last good snapshot): {}",
+            self.attempts, self.last_failure
+        )
+    }
+}
+
+impl std::error::Error for ChurnStalled {}
+
+/// What a successful [`ChurnPipeline::commit`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitReport {
+    /// The oracle epoch now serving.
+    pub epoch: u64,
+    /// The journal sequence the published snapshot folds in.
+    pub seq: u64,
+    /// Build attempts made (0 when the pipeline was already current).
+    pub attempts: u32,
+    /// `true` iff the publish came from the full-rebuild escalation.
+    pub full_rebuild: bool,
+    /// `false` iff the commit was a no-op (nothing pending, not
+    /// degraded), in which case no new epoch was published.
+    pub published: bool,
+}
+
+/// A point-in-time health report: how fresh the serving snapshot is and
+/// how the control plane has been behaving.
+///
+/// `degraded == true` means the last build cycle failed and readers are
+/// on the **last good snapshot**; `pending_events` is the staleness —
+/// how many accepted events the served snapshot does not yet fold in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnHealth {
+    /// The oracle epoch readers currently refresh onto.
+    pub published_epoch: u64,
+    /// Journal sequence folded into the published snapshot.
+    pub published_seq: u64,
+    /// Journal sequence of the last accepted event.
+    pub accepted_seq: u64,
+    /// `accepted_seq - published_seq`: the served snapshot's staleness
+    /// in events.
+    pub pending_events: u64,
+    /// `true` iff the pipeline is serving a stale last-good snapshot
+    /// because builds are failing.
+    pub degraded: bool,
+    /// Build failures since the last successful publish.
+    pub consecutive_failures: u32,
+    /// Total events quarantined since construction.
+    pub quarantined_total: u64,
+    /// Successful publishes since construction (excluding the initial).
+    pub commits: u64,
+    /// Full-rebuild escalations attempted since construction.
+    pub full_rebuilds: u64,
+    /// Human-readable description of the most recent build failure, if
+    /// the pipeline is degraded.
+    pub last_failure: Option<String>,
+}
+
+/// The injection point a [`ChurnPipeline`] probe observes: which build
+/// attempt is about to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuildContext {
+    /// 0-based attempt number within the current commit call.
+    pub attempt: u32,
+    /// `true` for the full-rebuild escalation attempt.
+    pub full_rebuild: bool,
+    /// The journal sequence the build is trying to fold in.
+    pub target_seq: u64,
+}
+
+/// What an injection probe does to a build attempt (see
+/// [`ChurnPipeline::set_build_probe`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildFault {
+    /// Let the build run normally.
+    None,
+    /// Panic inside the (isolated) build step.
+    Panic,
+    /// Let the build succeed, then corrupt one tree cell so the
+    /// cross-check **must** reject the snapshot — this is how the test
+    /// harness proves the cross-check gate actually gates.
+    Corrupt,
+}
+
+/// A boxed fault-injection probe consulted before each build attempt
+/// (see [`ChurnPipeline::set_build_probe`] and [`inject::flaky_builder`]).
+pub type BuildProbe = Box<dyn FnMut(&BuildContext) -> BuildFault + Send>;
+
+/// The churn-hardened control plane around an [`Oracle`]: ingests fault
+/// events, quarantines invalid ones, recompiles snapshots
+/// panic-isolated, and publishes through the epoch swap — falling back
+/// to last-good-snapshot serving when builds fail.
+///
+/// See the [module docs](self) for the robustness contract and an
+/// end-to-end example.
+pub struct ChurnPipeline<C: PathCost + 'static> {
+    oracle: Oracle<C>,
+    scheme: ExactScheme<C>,
+    state: FaultState,
+    journal: Vec<FaultEvent>,
+    quarantine: Vec<QuarantinedEvent>,
+    offered: u64,
+    published_seq: u64,
+    consecutive_failures: u32,
+    commits: u64,
+    full_rebuilds: u64,
+    last_failure: Option<BuildFailure>,
+    config: ChurnConfig,
+    sleeper: Box<dyn FnMut(Duration) + Send>,
+    probe: Option<BuildProbe>,
+}
+
+impl<C: PathCost + 'static> std::fmt::Debug for ChurnPipeline<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChurnPipeline")
+            .field("state", &self.state)
+            .field("journal_len", &self.journal.len())
+            .field("quarantined", &self.quarantine.len())
+            .field("published_seq", &self.published_seq)
+            .field("consecutive_failures", &self.consecutive_failures)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<C: PathCost + 'static> ChurnPipeline<C> {
+    /// Builds the initial (fault-free) snapshot from `scheme`,
+    /// publishes it as epoch 1, and returns the pipeline, with the
+    /// default [`ChurnConfig`].
+    pub fn new(scheme: &ExactScheme<C>) -> Result<Self, BuildError> {
+        Self::with_config(scheme, ChurnConfig::default())
+    }
+
+    /// [`ChurnPipeline::new`] with an explicit configuration.
+    pub fn with_config(scheme: &ExactScheme<C>, config: ChurnConfig) -> Result<Self, BuildError> {
+        let snapshot = OracleSnapshot::builder(scheme).version(0).try_build()?;
+        let oracle = Oracle::new(snapshot);
+        Ok(ChurnPipeline {
+            oracle,
+            scheme: scheme.clone(),
+            state: FaultState::new(scheme.graph().m()),
+            journal: Vec::new(),
+            quarantine: Vec::new(),
+            offered: 0,
+            published_seq: 0,
+            consecutive_failures: 0,
+            commits: 0,
+            full_rebuilds: 0,
+            last_failure: None,
+            config,
+            sleeper: Box::new(std::thread::sleep),
+            probe: None,
+        })
+    }
+
+    /// Reconstructs a pipeline from an accepted-event journal — the
+    /// deterministic crash-recovery path. Every journal event is
+    /// re-validated and re-applied in order, then a single snapshot
+    /// folding the full journal is built and published; the result is
+    /// state-identical to the pipeline that wrote the journal (same
+    /// fault state, same published sequence, same snapshot cells).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::{generators, FaultEvent};
+    /// use rsp_oracle::churn::{ChurnConfig, ChurnPipeline};
+    ///
+    /// let g = generators::grid(4, 4);
+    /// let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    /// let mut a = ChurnPipeline::new(&scheme).unwrap();
+    /// a.ingest(FaultEvent::Arrive(0)).unwrap();
+    /// a.ingest(FaultEvent::Arrive(5)).unwrap();
+    /// a.ingest(FaultEvent::Repair(0)).unwrap();
+    /// a.commit().unwrap();
+    ///
+    /// // Crash. Recover from the journal alone:
+    /// let b = ChurnPipeline::replay(&scheme, a.journal(), ChurnConfig::default()).unwrap();
+    /// assert_eq!(b.fault_state(), a.fault_state());
+    /// assert_eq!(b.health().published_seq, a.health().published_seq);
+    /// ```
+    pub fn replay(
+        scheme: &ExactScheme<C>,
+        journal: &[FaultEvent],
+        config: ChurnConfig,
+    ) -> Result<Self, ReplayError> {
+        let mut pipeline = Self::with_config(scheme, config).map_err(ReplayError::Build)?;
+        for (i, &ev) in journal.iter().enumerate() {
+            pipeline
+                .ingest(ev)
+                .map_err(|reason| ReplayError::Rejected { seq: i as u64 + 1, reason })?;
+        }
+        pipeline.commit().map_err(ReplayError::Stalled)?;
+        Ok(pipeline)
+    }
+
+    /// The serving handle. Clone it for control-plane sharing; call
+    /// [`Oracle::reader`] (or [`ChurnPipeline::reader`]) per data-plane
+    /// thread.
+    pub fn oracle(&self) -> &Oracle<C> {
+        &self.oracle
+    }
+
+    /// A new per-thread data-plane reader on the pipeline's oracle.
+    pub fn reader(&self) -> OracleReader<C> {
+        self.oracle.reader()
+    }
+
+    /// The compiled scheme snapshots are built from.
+    pub fn scheme(&self) -> &ExactScheme<C> {
+        &self.scheme
+    }
+
+    /// The current accepted fault state (may be ahead of what the
+    /// published snapshot folds in — see [`ChurnHealth::pending_events`]).
+    pub fn fault_state(&self) -> &FaultState {
+        &self.state
+    }
+
+    /// The append-only accepted-event journal. `journal()[k]` is the
+    /// event with sequence number `k + 1`; feed the slice to
+    /// [`ChurnPipeline::replay`] for crash recovery.
+    pub fn journal(&self) -> &[FaultEvent] {
+        &self.journal
+    }
+
+    /// Every quarantined event, in offered order.
+    pub fn quarantined(&self) -> &[QuarantinedEvent] {
+        &self.quarantine
+    }
+
+    /// An owned handle to the currently published (last good) snapshot.
+    pub fn published_snapshot(&self) -> Arc<OracleSnapshot<C>> {
+        self.oracle.snapshot()
+    }
+
+    /// Accepted events not yet folded into the published snapshot.
+    pub fn pending_events(&self) -> u64 {
+        self.journal.len() as u64 - self.published_seq
+    }
+
+    /// Offers one event to the pipeline. Valid events are journaled and
+    /// folded into the pending fault state (returning their journal
+    /// sequence number); invalid ones are quarantined with a reason and
+    /// change nothing. **Never panics**, whatever the event.
+    ///
+    /// Ingestion does not rebuild; call [`ChurnPipeline::commit`] to
+    /// publish the pending state (batching many events per commit is
+    /// the intended usage under heavy churn).
+    pub fn ingest(&mut self, ev: FaultEvent) -> Result<u64, QuarantineReason> {
+        let index = self.offered;
+        self.offered += 1;
+        match self.state.apply(ev) {
+            Ok(()) => {
+                self.journal.push(ev);
+                Ok(self.journal.len() as u64)
+            }
+            Err(e) => {
+                let reason = QuarantineReason::Event(e);
+                self.quarantine.push(QuarantinedEvent { index, event: Some(ev), reason });
+                Err(reason)
+            }
+        }
+    }
+
+    /// [`ChurnPipeline::ingest`] from a raw wire frame
+    /// ([`FaultEvent::decode`]): undecodable bytes are quarantined with
+    /// a [`QuarantineReason::Wire`] reason. **Never panics**, whatever
+    /// the bytes — the robustness suite feeds this arbitrary garbage.
+    pub fn ingest_wire(&mut self, frame: &[u8]) -> Result<u64, QuarantineReason> {
+        match FaultEvent::decode(frame) {
+            Ok(ev) => self.ingest(ev),
+            Err(e) => {
+                let index = self.offered;
+                self.offered += 1;
+                let reason = QuarantineReason::Wire(e);
+                self.quarantine.push(QuarantinedEvent { index, event: None, reason });
+                Err(reason)
+            }
+        }
+    }
+
+    /// Recompiles a snapshot folding every accepted event and publishes
+    /// it through the epoch swap. No-op when already current.
+    ///
+    /// Each build attempt is **panic-isolated** and **cross-checked**
+    /// against the batch engine on sampled sources; a failed attempt
+    /// leaves the last good snapshot serving, backs off exponentially
+    /// ([`ChurnConfig::backoff`]), and retries. After
+    /// [`ChurnConfig::retry_budget`] incremental failures the pipeline
+    /// escalates to a from-scratch **full rebuild** (fault state
+    /// re-derived from the journal). If that also fails, `commit`
+    /// returns [`ChurnStalled`] — readers are still serving the last
+    /// good snapshot, [`ChurnPipeline::health`] reports the staleness,
+    /// and the next `commit` starts a fresh cycle.
+    pub fn commit(&mut self) -> Result<CommitReport, ChurnStalled> {
+        let target_seq = self.journal.len() as u64;
+        if target_seq == self.published_seq && self.consecutive_failures == 0 {
+            return Ok(CommitReport {
+                epoch: self.oracle.epoch(),
+                seq: target_seq,
+                attempts: 0,
+                full_rebuild: false,
+                published: false,
+            });
+        }
+
+        let mut attempts = 0;
+        for attempt in 0..self.config.retry_budget {
+            attempts += 1;
+            match self.attempt(attempt, false, target_seq) {
+                Ok(snapshot) => {
+                    return Ok(self.publish_built(snapshot, target_seq, attempts, false))
+                }
+                Err(failure) => {
+                    self.note_failure(failure);
+                    let delay = self.config.backoff(attempt);
+                    (self.sleeper)(delay);
+                }
+            }
+        }
+
+        // Escalation: re-derive the fault state from the journal and
+        // build from scratch.
+        attempts += 1;
+        self.full_rebuilds += 1;
+        match self.attempt(self.config.retry_budget, true, target_seq) {
+            Ok(snapshot) => Ok(self.publish_built(snapshot, target_seq, attempts, true)),
+            Err(failure) => {
+                self.note_failure(failure.clone());
+                Err(ChurnStalled { attempts, last_failure: failure })
+            }
+        }
+    }
+
+    /// How fresh the serving snapshot is and how the control plane has
+    /// been behaving. Cheap; call it from monitoring loops.
+    pub fn health(&self) -> ChurnHealth {
+        let accepted_seq = self.journal.len() as u64;
+        ChurnHealth {
+            published_epoch: self.oracle.epoch(),
+            published_seq: self.published_seq,
+            accepted_seq,
+            pending_events: accepted_seq - self.published_seq,
+            degraded: self.consecutive_failures > 0,
+            consecutive_failures: self.consecutive_failures,
+            quarantined_total: self.quarantine.len() as u64,
+            commits: self.commits,
+            full_rebuilds: self.full_rebuilds,
+            last_failure: self.last_failure.as_ref().map(|f| f.to_string()),
+        }
+    }
+
+    /// Replaces the between-retry sleeper (default:
+    /// [`std::thread::sleep`]). The deterministic test harness installs
+    /// a recording no-op so backoff schedules are asserted, not waited
+    /// for.
+    pub fn set_sleeper(&mut self, sleeper: impl FnMut(Duration) + Send + 'static) {
+        self.sleeper = Box::new(sleeper);
+    }
+
+    /// Installs a fault-injection probe consulted before every build
+    /// attempt (see [`BuildFault`]); `None` clears it. This is the
+    /// harness seam [`inject`] uses to panic the builder at chosen
+    /// steps and to prove the cross-check rejects corrupted snapshots.
+    pub fn set_build_probe(&mut self, probe: Option<BuildProbe>) {
+        self.probe = probe;
+    }
+
+    /// One panic-isolated build + cross-check attempt.
+    fn attempt(
+        &mut self,
+        attempt: u32,
+        full_rebuild: bool,
+        target_seq: u64,
+    ) -> Result<OracleSnapshot<C>, BuildFailure> {
+        let ctx = BuildContext { attempt, full_rebuild, target_seq };
+        let fault = self.probe.as_mut().map_or(BuildFault::None, |p| p(&ctx));
+
+        let faults: FaultSet = if full_rebuild {
+            // From scratch: trust nothing but the journal.
+            let mut st = FaultState::new(self.scheme.graph().m());
+            for &ev in &self.journal {
+                st.apply(ev).map_err(BuildFailure::JournalCorrupt)?;
+            }
+            st.faults().clone()
+        } else {
+            self.state.faults().clone()
+        };
+
+        build_and_check(&self.scheme, faults, target_seq, fault, &self.config)
+    }
+
+    fn publish_built(
+        &mut self,
+        snapshot: OracleSnapshot<C>,
+        target_seq: u64,
+        attempts: u32,
+        full_rebuild: bool,
+    ) -> CommitReport {
+        let epoch = self.oracle.publish(snapshot);
+        self.published_seq = target_seq;
+        self.consecutive_failures = 0;
+        self.last_failure = None;
+        self.commits += 1;
+        CommitReport { epoch, seq: target_seq, attempts, full_rebuild, published: true }
+    }
+
+    fn note_failure(&mut self, failure: BuildFailure) {
+        self.consecutive_failures += 1;
+        self.last_failure = Some(failure);
+    }
+}
+
+/// Errors from [`ChurnPipeline::replay`].
+#[derive(Clone, Debug)]
+pub enum ReplayError {
+    /// The initial snapshot build failed.
+    Build(BuildError),
+    /// A journal event failed validation — the journal is not an
+    /// accepted-event journal of this scheme's graph.
+    Rejected {
+        /// 1-based sequence of the rejected event.
+        seq: u64,
+        /// Why it was rejected.
+        reason: QuarantineReason,
+    },
+    /// The recovery commit stalled (the pipeline is returned to a
+    /// serving state only on success, so this aborts recovery).
+    Stalled(ChurnStalled),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Build(e) => write!(f, "replay: initial build failed: {e}"),
+            ReplayError::Rejected { seq, reason } => {
+                write!(f, "replay: journal event {seq} rejected: {reason}")
+            }
+            ReplayError::Stalled(e) => write!(f, "replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The panic-isolated build-validate-cross-check step shared by
+/// incremental and full-rebuild attempts.
+fn build_and_check<C: PathCost + 'static>(
+    scheme: &ExactScheme<C>,
+    faults: FaultSet,
+    version: u64,
+    injected: BuildFault,
+    config: &ChurnConfig,
+) -> Result<OracleSnapshot<C>, BuildFailure> {
+    // AssertUnwindSafe: the closure only reads `scheme` and constructs
+    // owned data (builder clones the scheme; the batch scratch is local
+    // to the closure), so a panic at any point leaves nothing observable
+    // half-mutated.
+    let result = catch_unwind(AssertUnwindSafe(|| -> Result<OracleSnapshot<C>, BuildFailure> {
+        if injected == BuildFault::Panic {
+            panic!("injected builder panic (target seq {version})");
+        }
+        let mut snapshot = OracleSnapshot::builder(scheme)
+            .base_faults(faults)
+            .version(version)
+            .try_build()
+            .map_err(BuildFailure::Rejected)?;
+        let samples = cross_check_sample(scheme.graph().n(), config, version);
+        if injected == BuildFault::Corrupt {
+            // Corrupt a row the cross-check will visit, so the gate is
+            // exercised, not bypassed.
+            let s = samples.first().copied().unwrap_or(0);
+            snapshot.corrupt_row_for_injection(s);
+        }
+        cross_check(&snapshot, scheme, &samples)?;
+        Ok(snapshot)
+    }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(BuildFailure::Panicked(panic_message(payload.as_ref()))),
+    }
+}
+
+/// The deterministic cross-check source sample for a build targeting
+/// `version`: distinct vertices drawn from a seeded generator, fresh
+/// per version so successive builds audit different rows.
+fn cross_check_sample(n: usize, config: &ChurnConfig, version: u64) -> Vec<Vertex> {
+    let k = config.cross_check_sources.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(
+        config.cross_check_seed ^ version.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let mut picked: Vec<Vertex> = Vec::with_capacity(k);
+    while picked.len() < k {
+        let v = rng.random_range(0..n);
+        if !picked.contains(&v) {
+            picked.push(v);
+        }
+    }
+    picked
+}
+
+/// Compares the snapshot's precomputed rows for `samples` against a
+/// fresh `dijkstra_batch` run on the same base fault state, cell by
+/// cell (hops, parents, exact costs).
+fn cross_check<C: PathCost + 'static>(
+    snapshot: &OracleSnapshot<C>,
+    scheme: &ExactScheme<C>,
+    samples: &[Vertex],
+) -> Result<(), BuildFailure> {
+    if samples.is_empty() {
+        return Ok(());
+    }
+    let g = scheme.graph();
+    let fault_sets = [snapshot.base_faults().clone()];
+    let mut batch = BatchScratch::<C>::new();
+    let mut mismatch = None;
+    dijkstra_batch(g, samples, &fault_sets, scheme.directed_costs(), &mut batch, |si, _fi, run| {
+        let s = samples[si];
+        let row = snapshot.baseline(s).expect("default snapshots serve every vertex");
+        for v in g.vertices() {
+            if row.dist(v) != run.hops(v)
+                || row.parent(v) != run.parent(v)
+                || row.cost(v) != run.cost(v)
+            {
+                mismatch = Some((s, v));
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    match mismatch {
+        Some((source, target)) => Err(BuildFailure::CrossCheckMismatch { source, target }),
+        None => Ok(()),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -40,9 +40,19 @@
 //! assert_eq!(reader.dist(0, 15, &FaultSet::single(0)), Some(6));
 //! ```
 //!
-//! See the "Serving layer" chapter of `docs/ARCHITECTURE.md` for the
-//! control/data-plane diagram, the snapshot lifecycle
-//! (build → publish → retire), and guidance on `Oracle` vs the raw
+//! Under *churn* — live fault arrive/repair streams — the [`churn`]
+//! module hardens this loop: [`churn::ChurnPipeline`] validates and
+//! quarantines hostile events, recompiles snapshots panic-isolated and
+//! cross-checked, retries with backoff, and keeps readers on the last
+//! good snapshot when builds fail (staleness exposed via
+//! [`churn::ChurnHealth`], never hidden). A seeded injection harness
+//! ([`churn::inject`]) drives drops, duplicates, reorders, corruptions,
+//! and builder panics deterministically in the robustness suite.
+//!
+//! See the "Serving layer" and "Churn pipeline & degraded modes"
+//! chapters of `docs/ARCHITECTURE.md` for the control/data-plane
+//! diagram, the snapshot lifecycle (build → publish → retire), the
+//! event-ingestion state machine, and guidance on `Oracle` vs the raw
 //! engines.
 //!
 //! ## Paper cross-reference
@@ -57,8 +67,9 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod churn;
 mod serve;
 mod snapshot;
 
 pub use serve::{Oracle, OracleReader};
-pub use snapshot::{OracleSnapshot, SnapshotBuilder, TreeView};
+pub use snapshot::{BuildError, OracleSnapshot, QueryError, SnapshotBuilder, TreeView};

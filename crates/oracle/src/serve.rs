@@ -25,13 +25,13 @@
 //!   pins this with `Weak` handles.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use rsp_arith::PathCost;
 use rsp_core::ExactScheme;
 use rsp_graph::{EdgeId, FaultSet, SearchScratch, Vertex};
 
-use crate::snapshot::{OracleSnapshot, TreeView};
+use crate::snapshot::{OracleSnapshot, QueryError, TreeView};
 
 /// The shared publication cell: the current snapshot plus its epoch.
 ///
@@ -43,6 +43,20 @@ use crate::snapshot::{OracleSnapshot, TreeView};
 struct Shared<C> {
     epoch: AtomicU64,
     slot: Mutex<Arc<OracleSnapshot<C>>>,
+}
+
+impl<C> Shared<C> {
+    /// Locks the slot, **recovering from poison**: the protected value
+    /// is a plain `Arc` that is always whole at every await-free point
+    /// of every critical section (the store in `publish` either happens
+    /// or it doesn't), so a publisher that panicked while holding the
+    /// lock left valid state behind — either the old snapshot or the
+    /// fully-stored new one. Refusing to serve forever because of a
+    /// past panic would turn one failed publish into a permanent
+    /// outage; see the poison-recovery regression test below.
+    fn lock_slot(&self) -> MutexGuard<'_, Arc<OracleSnapshot<C>>> {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// The serving handle: an epoch-swapped publication point for immutable
@@ -129,7 +143,7 @@ impl<C: PathCost + 'static> Oracle<C> {
     /// previous epoch's snapshot alive until they next refresh.
     pub fn publish(&self, snapshot: OracleSnapshot<C>) -> u64 {
         let next = Arc::new(snapshot);
-        let mut slot = self.shared.slot.lock().expect("oracle slot poisoned");
+        let mut slot = self.shared.lock_slot();
         *slot = next;
         // Inside the lock: a reader cloning the slot under the lock sees
         // the epoch that matches the snapshot it cloned.
@@ -144,7 +158,7 @@ impl<C: PathCost + 'static> Oracle<C> {
     /// An owned handle to the current snapshot (control-plane
     /// inspection; data-plane threads should use [`Oracle::reader`]).
     pub fn snapshot(&self) -> Arc<OracleSnapshot<C>> {
-        Arc::clone(&self.shared.slot.lock().expect("oracle slot poisoned"))
+        Arc::clone(&self.shared.lock_slot())
     }
 
     /// Creates a data-plane reader: a per-thread handle owning its own
@@ -197,7 +211,7 @@ impl<C: PathCost + 'static> OracleReader<C> {
         if self.shared.epoch.load(Ordering::Acquire) == self.epoch {
             return false;
         }
-        let slot = self.shared.slot.lock().expect("oracle slot poisoned");
+        let slot = self.shared.lock_slot();
         self.snapshot = Arc::clone(&slot);
         // Read the epoch while holding the lock so it matches the clone
         // (publish bumps it inside its critical section).
@@ -223,10 +237,38 @@ impl<C: PathCost + 'static> OracleReader<C> {
     ///
     /// # Panics
     ///
-    /// Panics if `s` is out of range in the current snapshot's graph.
+    /// Panics if `s` or a fault edge id is out of range in the current
+    /// snapshot's graph. Serving threads handling untrusted wire input
+    /// should use [`OracleReader::try_query`] /
+    /// [`OracleReader::try_query_edges`] instead.
     pub fn query(&mut self, s: Vertex, faults: &FaultSet) -> TreeView<'_, C> {
+        self.try_query(s, faults).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The fallible twin of [`OracleReader::query`]: malformed queries
+    /// (out-of-range source, out-of-range fault edge id) return a
+    /// [`QueryError`] instead of panicking the serving thread.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::{generators, FaultSet};
+    /// use rsp_oracle::{Oracle, QueryError};
+    ///
+    /// let g = generators::petersen(); // 10 vertices
+    /// let scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
+    /// let mut reader = Oracle::build(&scheme).reader();
+    /// let err = reader.try_query(10, &FaultSet::empty()).map(|_| ());
+    /// assert_eq!(err.unwrap_err(), QueryError::SourceOutOfRange { source: 10, n: 10 });
+    /// ```
+    pub fn try_query(
+        &mut self,
+        s: Vertex,
+        faults: &FaultSet,
+    ) -> Result<TreeView<'_, C>, QueryError> {
         self.refresh();
-        self.snapshot.query(s, faults, &mut self.scratch)
+        self.snapshot.try_query(s, faults, &mut self.scratch)
     }
 
     /// [`OracleReader::query`] from a **raw edge-id list**: the serving
@@ -253,14 +295,92 @@ impl<C: PathCost + 'static> OracleReader<C> {
     /// let set = reader.query(0, &rsp_graph::FaultSet::single(3)).dist(15);
     /// assert_eq!(dup, set);
     /// ```
+    /// # Panics
+    ///
+    /// Panics if `s` or an edge id is out of range; untrusted wire
+    /// boundaries should call [`OracleReader::try_query_edges`].
     pub fn query_edges(&mut self, s: Vertex, edges: &[EdgeId]) -> TreeView<'_, C> {
+        self.try_query_edges(s, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The fallible serving boundary for **raw wire queries**: edge ids
+    /// are normalized into the reader's buffer, validated, and answered
+    /// — a malformed frame yields `Err`, never a panic, so one hostile
+    /// client cannot take a reader thread (and with it a poisoned lock)
+    /// down.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::generators;
+    /// use rsp_oracle::{Oracle, QueryError};
+    ///
+    /// let g = generators::petersen(); // 15 edges
+    /// let scheme = RandomGridAtw::theorem20(&g, 7).into_scheme();
+    /// let mut reader = Oracle::build(&scheme).reader();
+    /// // Garbage edge id from the wire: refused, reader keeps serving.
+    /// let err = reader.try_query_edges(0, &[usize::MAX]).map(|_| ());
+    /// assert_eq!(err.unwrap_err(), QueryError::FaultOutOfRange { edge: usize::MAX, m: 15 });
+    /// assert!(reader.try_query_edges(0, &[3, 3]).is_ok());
+    /// ```
+    pub fn try_query_edges(
+        &mut self,
+        s: Vertex,
+        edges: &[EdgeId],
+    ) -> Result<TreeView<'_, C>, QueryError> {
         self.refresh();
-        self.faults.set_from(edges.iter().copied());
-        self.snapshot.query(s, &self.faults, &mut self.scratch)
+        self.snapshot.try_query_edges(s, edges, &mut self.faults, &mut self.scratch)
     }
 
     /// Point-to-point convenience: `dist_{G\F}(s, t)`.
     pub fn dist(&mut self, s: Vertex, t: Vertex, faults: &FaultSet) -> Option<u32> {
         self.query(s, faults).dist(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsp_core::RandomGridAtw;
+    use rsp_graph::generators;
+
+    /// The un-poisoning regression from the churn-hardening issue: a
+    /// thread that panics while holding the publication slot must not
+    /// brick publishing or reader refresh. Before the fix, every
+    /// subsequent `publish`/`snapshot`/`refresh` died on
+    /// `expect("oracle slot poisoned")`.
+    #[test]
+    fn publish_and_refresh_survive_poisoned_slot() {
+        let g = generators::grid(4, 4);
+        let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+        let oracle = Oracle::build(&scheme);
+        let mut reader = oracle.reader();
+        assert_eq!(reader.query(0, &FaultSet::empty()).dist(15), Some(6));
+
+        // Poison the slot: panic on a scoped thread while holding the
+        // guard. (This is exactly what a panicking publisher mid-critical-
+        // section does to the mutex.)
+        let shared = Arc::clone(&oracle.shared);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                let _guard = shared.slot.lock().unwrap();
+                panic!("deliberate publisher panic while holding the slot");
+            });
+            assert!(handle.join().is_err(), "the poisoning thread must panic");
+        });
+        assert!(oracle.shared.slot.is_poisoned(), "precondition: slot is poisoned");
+
+        // A publish after the panic must succeed, not unwind...
+        let rebuilt = RandomGridAtw::theorem20(&g, 43).into_scheme();
+        let before = oracle.epoch();
+        let epoch = oracle.publish(OracleSnapshot::builder(&rebuilt).version(7).build());
+        assert_eq!(epoch, before + 1);
+        // ...and readers must refresh onto the new epoch and keep serving.
+        assert!(reader.refresh());
+        assert_eq!(reader.snapshot().version(), 7);
+        assert_eq!(reader.query(0, &FaultSet::empty()).dist(15), Some(6));
+        // Control-plane inspection works too.
+        assert_eq!(oracle.snapshot().version(), 7);
     }
 }

@@ -20,11 +20,101 @@
 //! answer is byte-identical to [`rsp_core::Rpts::tree_from_with`] — the
 //! property suite in `tests/oracle_properties.rs` pins this.
 
+use std::borrow::Cow;
+
 use rsp_arith::PathCost;
 use rsp_core::{ExactScheme, Rpts};
 use rsp_graph::{EdgeId, FaultSet, Graph, Path, SearchScratch, Vertex};
 use rsp_labeling::{build_labeling, DistanceLabeling};
 use rsp_preserver::{ft_sv_preserver, Preserver};
+
+/// Why [`SnapshotBuilder::try_build`] rejected a configuration.
+///
+/// These are *validation* failures — the fallible twin of the panics
+/// documented on [`SnapshotBuilder::build`] — so a control plane fed
+/// untrusted configuration (the churn pipeline) can refuse a bad build
+/// without unwinding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A requested serving source is not a vertex of the graph.
+    SourceOutOfRange {
+        /// The offending source.
+        source: Vertex,
+        /// The graph's vertex count.
+        n: usize,
+    },
+    /// A base fault edge id is not an edge of the graph.
+    BaseFaultOutOfRange {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// The graph's edge count.
+        m: usize,
+    },
+    /// The graph has too many vertices or edges for `u32` snapshot ids.
+    GraphTooLarge {
+        /// The graph's vertex count.
+        n: usize,
+        /// The graph's edge count.
+        m: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::SourceOutOfRange { source, n } => {
+                write!(f, "serving source {source} out of range (graph has {n} vertices)")
+            }
+            BuildError::BaseFaultOutOfRange { edge, m } => {
+                write!(f, "base fault edge {edge} out of range (graph has {m} edges)")
+            }
+            BuildError::GraphTooLarge { n, m } => {
+                write!(f, "graph too large for u32 snapshot ids (n = {n}, m = {m})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Why [`OracleSnapshot::try_query`] rejected a query.
+///
+/// The fallible twin of the panics documented on
+/// [`OracleSnapshot::query`]: a malformed wire query (out-of-range
+/// source, out-of-range fault edge id) is a client error, and a serving
+/// thread must be able to refuse it without unwinding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query source is not a vertex of the graph.
+    SourceOutOfRange {
+        /// The offending source.
+        source: Vertex,
+        /// The graph's vertex count.
+        n: usize,
+    },
+    /// A fault edge id is not an edge of the graph.
+    FaultOutOfRange {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// The graph's edge count.
+        m: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::SourceOutOfRange { source, n } => {
+                write!(f, "query source {source} out of range (graph has {n} vertices)")
+            }
+            QueryError::FaultOutOfRange { edge, m } => {
+                write!(f, "fault edge {edge} out of range (graph has {m} edges)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// Flat-array sentinel: "no parent" / "unreachable" / "not a serving
 /// source". Graph sizes are asserted below `u32::MAX`, so the sentinel
@@ -60,6 +150,10 @@ const NONE: u32 = u32::MAX;
 pub struct OracleSnapshot<C> {
     scheme: ExactScheme<C>,
     version: u64,
+    /// Faults baked into every canonical tree: the snapshot serves the
+    /// subgraph `G \ base_faults` (the churn pipeline's current fault
+    /// state). Per-query faults are layered on top.
+    base_faults: FaultSet,
     /// Serving sources, in row order (row `i` of the flat arrays is the
     /// canonical tree rooted at `sources[i]`).
     sources: Vec<Vertex>,
@@ -87,6 +181,7 @@ pub struct OracleSnapshot<C> {
 pub struct SnapshotBuilder<'a, C> {
     scheme: &'a ExactScheme<C>,
     sources: Option<Vec<Vertex>>,
+    base_faults: FaultSet,
     label_faults: Option<usize>,
     preserver_faults: Option<usize>,
     version: u64,
@@ -97,6 +192,7 @@ impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
         SnapshotBuilder {
             scheme,
             sources: None,
+            base_faults: FaultSet::empty(),
             label_faults: None,
             preserver_faults: None,
             version: 0,
@@ -135,32 +231,97 @@ impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
     /// Tags the snapshot with an application-chosen version number
     /// (default 0). Readers see it via [`OracleSnapshot::version`] —
     /// the concurrency suite uses it to prove every answer is
-    /// internally consistent with exactly one published epoch.
+    /// internally consistent with exactly one published epoch, and the
+    /// churn pipeline stamps it with the journal sequence the snapshot
+    /// folds in.
     pub fn version(mut self, version: u64) -> Self {
         self.version = version;
         self
     }
 
-    /// Compiles the snapshot: one exact fault-free SPT per serving
-    /// source into the flat arrays, plus the optional label/preserver
-    /// artifacts.
+    /// Bakes a fault set into the snapshot: every canonical tree is
+    /// computed in `G \ faults`, and queries answer against
+    /// `G \ (faults ∪ F_query)`. This is how the churn pipeline serves
+    /// the *current* fault state — wire queries keep passing only their
+    /// own incremental faults.
+    ///
+    /// Edges are validated by [`SnapshotBuilder::try_build`]
+    /// ([`BuildError::BaseFaultOutOfRange`]). The optional
+    /// label/preserver artifacts are *not* re-derived under the base
+    /// faults — they remain compiled from the fault-free scheme, so a
+    /// churn deployment ships them from a separate fault-free snapshot.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::{generators, FaultSet, SearchScratch};
+    /// use rsp_oracle::OracleSnapshot;
+    ///
+    /// let g = generators::cycle(5);
+    /// let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
+    /// let e = g.edge_between(0, 1).unwrap();
+    /// let snap = OracleSnapshot::builder(&scheme)
+    ///     .base_faults(FaultSet::single(e))
+    ///     .build();
+    /// let mut scratch = SearchScratch::with_capacity(g.n());
+    /// // A fault-free *query* still routes around the baked-in fault.
+    /// let view = snap.query(0, &FaultSet::empty(), &mut scratch);
+    /// assert_eq!(view.dist(1), Some(4));
+    /// ```
+    pub fn base_faults(mut self, faults: FaultSet) -> Self {
+        self.base_faults = faults;
+        self
+    }
+
+    /// Compiles the snapshot: one exact SPT per serving source in
+    /// `G \ base_faults` into the flat arrays, plus the optional
+    /// label/preserver artifacts.
     ///
     /// # Panics
     ///
-    /// Panics if a serving source is out of range or the graph has
-    /// `u32::MAX` or more vertices/edges.
+    /// Panics if a serving source or base fault edge is out of range or
+    /// the graph has `u32::MAX` or more vertices/edges. Control planes
+    /// fed untrusted configuration should use
+    /// [`SnapshotBuilder::try_build`] instead.
     pub fn build(self) -> OracleSnapshot<C> {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The fallible twin of [`SnapshotBuilder::build`]: validates the
+    /// configuration against the graph and returns a [`BuildError`]
+    /// instead of panicking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::generators;
+    /// use rsp_oracle::{BuildError, OracleSnapshot};
+    ///
+    /// let g = generators::petersen();
+    /// let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
+    /// let err = OracleSnapshot::builder(&scheme).sources([99]).try_build();
+    /// assert_eq!(err.unwrap_err(), BuildError::SourceOutOfRange { source: 99, n: 10 });
+    /// ```
+    pub fn try_build(self) -> Result<OracleSnapshot<C>, BuildError> {
         let scheme = self.scheme.clone();
         let g = scheme.graph();
         let n = g.n();
-        assert!(n < NONE as usize, "graph too large for u32 snapshot ids");
-        assert!(g.m() < NONE as usize, "graph too large for u32 snapshot ids");
+        if n >= NONE as usize || g.m() >= NONE as usize {
+            return Err(BuildError::GraphTooLarge { n, m: g.m() });
+        }
+        if let Some(edge) = self.base_faults.iter().find(|&e| e >= g.m()) {
+            return Err(BuildError::BaseFaultOutOfRange { edge, m: g.m() });
+        }
 
         let requested: Vec<Vertex> = self.sources.unwrap_or_else(|| g.vertices().collect());
         let mut source_row = vec![NONE; n];
         let mut sources = Vec::with_capacity(requested.len());
         for &s in &requested {
-            assert!(s < n, "serving source {s} out of range");
+            if s >= n {
+                return Err(BuildError::SourceOutOfRange { source: s, n });
+            }
             if source_row[s] == NONE {
                 source_row[s] = sources.len() as u32;
                 sources.push(s);
@@ -175,9 +336,8 @@ impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
         costs.resize_with(cells, C::zero);
 
         let mut scratch = SearchScratch::<C>::with_capacity(n);
-        let empty = FaultSet::empty();
         for (row, &s) in sources.iter().enumerate() {
-            scheme.spt_into(s, &empty, &mut scratch);
+            scheme.spt_into(s, &self.base_faults, &mut scratch);
             let base = row * n;
             for v in g.vertices() {
                 let Some(h) = scratch.hops(v) else { continue };
@@ -195,9 +355,10 @@ impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
         let labels = self.label_faults.map(|f| build_labeling(&scheme, f));
         let preserver = self.preserver_faults.map(|f| ft_sv_preserver(&scheme, &sources, f));
 
-        OracleSnapshot {
+        Ok(OracleSnapshot {
             scheme,
             version: self.version,
+            base_faults: self.base_faults,
             sources,
             source_row,
             parent_vertex,
@@ -206,7 +367,7 @@ impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
             costs,
             labels,
             preserver,
-        }
+        })
     }
 }
 
@@ -233,6 +394,13 @@ impl<C: PathCost + 'static> OracleSnapshot<C> {
     /// [`SnapshotBuilder::version`]).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The fault set baked into every canonical tree (see
+    /// [`SnapshotBuilder::base_faults`]); empty for plain snapshots.
+    /// Queries answer against `G \ (base_faults ∪ F_query)`.
+    pub fn base_faults(&self) -> &FaultSet {
+        &self.base_faults
     }
 
     /// The serving sources, in the order their tree rows are stored.
@@ -304,20 +472,24 @@ impl<C: PathCost + 'static> OracleSnapshot<C> {
     }
 
     /// Answers the `(s, · , F)` query: the canonical selected tree from
-    /// `s` in `G \ F`, as a borrowed [`TreeView`].
+    /// `s` in `G \ (base_faults ∪ F)`, as a borrowed [`TreeView`].
     ///
     /// **Fast path** (no traversal, no allocation): if `s` is a serving
     /// source and no fault edge lies on its canonical tree, the
     /// precomputed tree *is* the answer — removing non-tree edges
     /// changes no selected shortest path (the unique minimum-cost paths
     /// survive and nothing cheaper appears). **Engine path** otherwise:
-    /// an exact search in `G* \ F` inside `scratch`, allocation-free
-    /// once the scratch is warm. Both paths return answers
+    /// an exact search in `G* \ (base ∪ F)` inside `scratch`,
+    /// allocation-free once the scratch is warm (snapshots with
+    /// non-empty [`OracleSnapshot::base_faults`] allocate one temporary
+    /// union set on this path). Both paths return answers
     /// byte-identical to [`rsp_core::Rpts::tree_from_with`].
     ///
     /// # Panics
     ///
-    /// Panics if `s` is out of range.
+    /// Panics if `s` or a fault edge id is out of range. Serving
+    /// boundaries handling untrusted wire input should use
+    /// [`OracleSnapshot::try_query`] instead.
     ///
     /// # Examples
     ///
@@ -346,15 +518,105 @@ impl<C: PathCost + 'static> OracleSnapshot<C> {
         faults: &FaultSet,
         scratch: &'q mut SearchScratch<C>,
     ) -> TreeView<'q, C> {
+        self.try_query(s, faults, scratch).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The fallible twin of [`OracleSnapshot::query`]: a malformed
+    /// query — out-of-range source, out-of-range edge id in the fault
+    /// list — returns a [`QueryError`] instead of panicking, so one bad
+    /// wire frame cannot take down a serving thread.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::{generators, FaultSet, SearchScratch};
+    /// use rsp_oracle::{OracleSnapshot, QueryError};
+    ///
+    /// let g = generators::petersen(); // 10 vertices, 15 edges
+    /// let scheme = RandomGridAtw::theorem20(&g, 1).into_scheme();
+    /// let snap = OracleSnapshot::builder(&scheme).build();
+    /// let mut scratch = SearchScratch::with_capacity(g.n());
+    ///
+    /// let err = snap.try_query(42, &FaultSet::empty(), &mut scratch).map(|_| ());
+    /// assert_eq!(err.unwrap_err(), QueryError::SourceOutOfRange { source: 42, n: 10 });
+    /// let err = snap.try_query(0, &FaultSet::single(15), &mut scratch).map(|_| ());
+    /// assert_eq!(err.unwrap_err(), QueryError::FaultOutOfRange { edge: 15, m: 15 });
+    /// assert!(snap.try_query(0, &FaultSet::single(14), &mut scratch).is_ok());
+    /// ```
+    pub fn try_query<'q>(
+        &'q self,
+        s: Vertex,
+        faults: &FaultSet,
+        scratch: &'q mut SearchScratch<C>,
+    ) -> Result<TreeView<'q, C>, QueryError> {
         let g = self.scheme.graph();
-        assert!(s < g.n(), "query source {s} out of range");
+        if s >= g.n() {
+            return Err(QueryError::SourceOutOfRange { source: s, n: g.n() });
+        }
+        if let Some(edge) = faults.iter().find(|&e| e >= g.m()) {
+            return Err(QueryError::FaultOutOfRange { edge, m: g.m() });
+        }
         if let Some(row) = self.row_of(s) {
             if !self.faults_touch_row(row, faults) {
-                return TreeView { inner: ViewInner::Baseline { snap: self, row, source: s } };
+                return Ok(TreeView { inner: ViewInner::Baseline { snap: self, row, source: s } });
             }
         }
-        rsp_graph::dijkstra_into(g, s, faults, self.scheme.directed_costs(), scratch);
-        TreeView { inner: ViewInner::Searched { scratch } }
+        let effective = self.effective_faults(faults);
+        rsp_graph::dijkstra_into(g, s, &effective, self.scheme.directed_costs(), scratch);
+        Ok(TreeView { inner: ViewInner::Searched { scratch } })
+    }
+
+    /// [`OracleSnapshot::try_query`] from a **raw wire edge-id list**:
+    /// normalizes (sorts, deduplicates) the ids into `faults_buf` via
+    /// [`FaultSet::set_from`], then validates and answers. The reusable
+    /// buffer keeps the path allocation-free once warm; see
+    /// [`crate::OracleReader::try_query_edges`] for the per-thread
+    /// serving wrapper that owns one.
+    pub fn try_query_edges<'q>(
+        &'q self,
+        s: Vertex,
+        edges: &[EdgeId],
+        faults_buf: &mut FaultSet,
+        scratch: &'q mut SearchScratch<C>,
+    ) -> Result<TreeView<'q, C>, QueryError> {
+        faults_buf.set_from(edges.iter().copied());
+        // `faults_buf` is only read (never stored) by the query; reborrow
+        // immutably so the returned view can borrow `scratch` alone.
+        self.try_query(s, &*faults_buf, scratch)
+    }
+
+    /// The faults the engine path must honor: the per-query set alone,
+    /// or its union with the baked-in base faults.
+    fn effective_faults<'f>(&self, faults: &'f FaultSet) -> Cow<'f, FaultSet> {
+        if self.base_faults.is_empty() {
+            Cow::Borrowed(faults)
+        } else {
+            let mut all = self.base_faults.clone();
+            for e in faults.iter() {
+                all.insert(e);
+            }
+            Cow::Owned(all)
+        }
+    }
+
+    /// Fault-injection seam: deliberately corrupts one reachable
+    /// non-source cell of `s`'s tree row (hop count bumped by 1), so a
+    /// downstream cross-check against the batch engine MUST reject this
+    /// snapshot. Returns `false` if `s` has no row or no corruptible
+    /// cell. Only the churn pipeline's injection probe calls this —
+    /// it is how the test harness proves the cross-check gate works.
+    pub(crate) fn corrupt_row_for_injection(&mut self, s: Vertex) -> bool {
+        let Some(row) = self.row_of(s) else { return false };
+        let n = self.scheme.graph().n();
+        let base = row * n;
+        for v in 0..n {
+            if v != s && self.hops[base + v] != NONE {
+                self.hops[base + v] += 1;
+                return true;
+            }
+        }
+        false
     }
 }
 
