@@ -1,8 +1,8 @@
 //! Churn control-plane benchmarks: fault-event ingestion throughput,
-//! commit (rebuild + cross-check + publish) latency, and the full
-//! injection-convergence cycle.
+//! commit latency for both build arms (from-scratch rebuild vs. delta
+//! patch), and the full injection-convergence cycle.
 //!
-//! Three regimes, mirroring `rsp_oracle::churn`'s contract:
+//! Four regimes, mirroring `rsp_oracle::churn`'s contract:
 //!
 //! * `ingest_events_hostile` — wire-frame ingestion through decode →
 //!   validate → journal/quarantine, fed the seeded hostile mix (drops,
@@ -10,34 +10,148 @@
 //!   pre-perturbed frame batch, so events/sec is
 //!   `FRAMES / mean`; the untimed events/sec line after the timed rows
 //!   reports it directly, with the accept/quarantine split.
-//! * `commit_rebuild` — one pending event, one commit: snapshot
-//!   recompilation under `catch_unwind`, the 4-source batch-engine
-//!   cross-check, and the epoch swap. This is the control plane's cost
-//!   per published epoch.
+//! * `commit_rebuild` — one pending event, one commit on a pipeline
+//!   with `delta_enabled: false`: full snapshot recompilation under
+//!   `catch_unwind`, the 4-source batch-engine cross-check, and the
+//!   epoch swap. The PR 7 baseline cost per published epoch.
+//! * `commit_delta` — the same single-fault epoch on a delta-enabled
+//!   pipeline: the `DeltaBuilder` patches the published snapshot
+//!   (detached-subtree reattach / decrease wave, untouched rows shared
+//!   copy-on-write), gated by the identical cross-check. The
+//!   `commit_long_trace_*` rows replay a bursty multi-fault trace and
+//!   its inverse (repairs ↔ arrivals, reversed) so every iteration
+//!   lands back on the initial state — long patch-of-patch chains, one
+//!   commit per event.
 //! * `injection_convergence` — the end-to-end harness cycle on a
 //!   smaller grid: perturb a valid trace, ingest every delivered frame,
 //!   commit, and verify full convergence (published snapshot equal to a
 //!   fresh engine run on the accepted fault state, every cell).
 //!
+//! After the timed rows the bench prints the delta-vs-rebuild commit
+//! split from `ChurnHealth` (delta commits, fallbacks, last fallback
+//! reason), so a silently degraded delta arm is visible in the log.
+//!
 //! Append results to the repo's `BENCH_<n>.json` trajectory with:
 //!
 //! ```sh
-//! CRITERION_JSON_PATH="$PWD/BENCH_7.json" \
+//! CRITERION_JSON_PATH="$PWD/BENCH_8.json" \
 //!   cargo bench -p rsp_bench --bench oracle_churn
 //! ```
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rsp_core::RandomGridAtw;
-use rsp_graph::{generators, FaultEvent};
-use rsp_oracle::churn::inject::{random_trace, verify_converged, InjectionPlan, StreamInjector};
-use rsp_oracle::churn::ChurnPipeline;
+use rsp_core::{ExactScheme, RandomGridAtw};
+use rsp_graph::{generators, FaultEvent, Graph};
+use rsp_oracle::churn::inject::{
+    random_trace, random_trace_with, verify_converged, InjectionPlan, StreamInjector, TraceOptions,
+};
+use rsp_oracle::churn::{ChurnConfig, ChurnPipeline};
 
 /// Events in the hostile ingestion batch (before drops/duplicates).
 const TRACE_LEN: usize = 512;
 
-fn bench_ingest_and_commit(c: &mut Criterion) {
+/// Events in the long-trace commit chains (each iteration replays the
+/// trace plus its inverse: `2 × LONG_TRACE` single-event commits).
+const LONG_TRACE: usize = 32;
+
+fn rebuild_config() -> ChurnConfig {
+    ChurnConfig { delta_enabled: false, ..ChurnConfig::default() }
+}
+
+/// The inverse of a valid trace: reversed, arrivals and repairs
+/// swapped. Replaying `trace` then `inverse(trace)` returns the fault
+/// state to where it started — the trick that lets a long-trace bench
+/// iterate without unbounded state drift.
+fn inverse(trace: &[FaultEvent]) -> Vec<FaultEvent> {
+    trace
+        .iter()
+        .rev()
+        .map(|ev| match *ev {
+            FaultEvent::Arrive(e) => FaultEvent::Repair(e),
+            FaultEvent::Repair(e) => FaultEvent::Arrive(e),
+        })
+        .collect()
+}
+
+/// The single-fault epoch loop shared by the `commit_rebuild` /
+/// `commit_delta` rows: toggle edge 0, commit, return the epoch.
+fn toggle_commit(pipeline: &mut ChurnPipeline<u128>, expect_delta: bool) -> u64 {
+    let ev = if pipeline.fault_state().faults().contains(0) {
+        FaultEvent::Repair(0)
+    } else {
+        FaultEvent::Arrive(0)
+    };
+    pipeline.ingest(ev).expect("toggle event is always admissible");
+    let report = pipeline.commit().expect("healthy commit publishes");
+    assert_eq!(report.delta, expect_delta, "wrong build arm served this epoch");
+    report.epoch
+}
+
+/// One commit per event over `trace` then its inverse; asserts the
+/// delta arm actually served (fallbacks are allowed, silent wholesale
+/// degradation is not — checked by the caller via `ChurnHealth`).
+fn replay_long_trace(
+    pipeline: &mut ChurnPipeline<u128>,
+    trace: &[FaultEvent],
+    back: &[FaultEvent],
+) {
+    for &ev in trace.iter().chain(back) {
+        pipeline.ingest(ev).expect("long trace events are admissible in order");
+        pipeline.commit().expect("healthy commit publishes");
+    }
+}
+
+fn commit_rows(c: &mut Criterion, group_name: &str, g: &Graph, scheme: &ExactScheme<u128>) {
+    let mut rebuild = ChurnPipeline::with_config(scheme, rebuild_config()).expect("initial build");
+    let mut delta = ChurnPipeline::new(scheme).expect("initial build");
+    rebuild.set_sleeper(|_| {});
+    delta.set_sleeper(|_| {});
+
+    let long = random_trace_with(
+        g,
+        LONG_TRACE,
+        0x1076_0001,
+        TraceOptions { burst: 0.25, max_faults: Some(4), ..TraceOptions::default() },
+    );
+    let back = inverse(&long);
+
+    let mut group = c.benchmark_group(group_name);
+    group.bench_function("commit_rebuild", |b| b.iter(|| toggle_commit(&mut rebuild, false)));
+    group.bench_function("commit_delta", |b| b.iter(|| toggle_commit(&mut delta, true)));
+    group.bench_function("commit_long_trace_rebuild", |b| {
+        b.iter(|| replay_long_trace(&mut rebuild, &long, &back))
+    });
+    group.bench_function("commit_long_trace_delta", |b| {
+        b.iter(|| replay_long_trace(&mut delta, &long, &back))
+    });
+    group.finish();
+
+    // The delta-vs-rebuild split: proof in the log that the delta arm
+    // served deltas instead of silently falling back to rebuilds.
+    let dh = delta.health();
+    let rh = rebuild.health();
+    println!(
+        "{group_name} build arms: delta pipeline {} delta of {} commits ({} fallbacks, last: {}); \
+         rebuild pipeline {} delta of {} commits",
+        dh.delta_commits,
+        dh.commits,
+        dh.delta_fallbacks,
+        dh.last_delta_fallback.as_deref().unwrap_or("none"),
+        rh.delta_commits,
+        rh.commits,
+    );
+    assert_eq!(rh.delta_commits, 0, "rebuild-only arm must never delta");
+    assert!(
+        dh.delta_commits * 10 >= dh.commits * 9,
+        "delta arm degraded to rebuilds: {} of {} ({:?})",
+        dh.delta_commits,
+        dh.commits,
+        dh.last_delta_fallback
+    );
+}
+
+fn bench_ingest(c: &mut Criterion) {
     let g = generators::grid(16, 16);
     let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
     let mut pipeline = ChurnPipeline::new(&scheme).expect("fault-free build succeeds");
@@ -59,21 +173,6 @@ fn bench_ingest_and_commit(c: &mut Criterion) {
                 accepted += usize::from(pipeline.ingest_wire(frame).is_ok());
             }
             accepted
-        })
-    });
-
-    // Bring the pipeline current so each commit iteration publishes
-    // exactly one pending event (arrive/repair toggles keep it valid).
-    pipeline.commit().expect("commit after ingestion");
-    group.bench_function("commit_rebuild", |b| {
-        b.iter(|| {
-            let ev = if pipeline.fault_state().faults().contains(0) {
-                FaultEvent::Repair(0)
-            } else {
-                FaultEvent::Arrive(0)
-            };
-            pipeline.ingest(ev).expect("toggle event is always admissible");
-            pipeline.commit().expect("healthy commit publishes").epoch
         })
     });
     group.finish();
@@ -98,6 +197,20 @@ fn bench_ingest_and_commit(c: &mut Criterion) {
     );
 }
 
+fn bench_commit_grid(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    commit_rows(c, "oracle_churn/u128_grid16x16", &g, &scheme);
+}
+
+fn bench_commit_gnm(c: &mut Criterion) {
+    // Dense G(n, m): 256 vertices, 2048 edges (mean degree 16) — swap
+    // candidates everywhere, the delta builder's worst friend.
+    let g = generators::connected_gnm(256, 2048, 0xd5e1);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    commit_rows(c, "oracle_churn/u128_gnm256x2048", &g, &scheme);
+}
+
 fn bench_injection_convergence(c: &mut Criterion) {
     let g = generators::grid(8, 8);
     let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
@@ -120,9 +233,14 @@ fn bench_injection_convergence(c: &mut Criterion) {
 
     let health = pipeline.health();
     println!(
-        "oracle_churn/u128_grid8x8 injection-convergence: {} commits, \
+        "oracle_churn/u128_grid8x8 injection-convergence: {} commits ({} delta, {} fallbacks), \
          {} events accepted, {} quarantined, {} full rebuilds, converged=yes",
-        health.commits, health.accepted_seq, health.quarantined_total, health.full_rebuilds
+        health.commits,
+        health.delta_commits,
+        health.delta_fallbacks,
+        health.accepted_seq,
+        health.quarantined_total,
+        health.full_rebuilds
     );
 }
 
@@ -133,6 +251,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_ingest_and_commit, bench_injection_convergence
+    targets = bench_ingest, bench_commit_grid, bench_commit_gnm, bench_injection_convergence
 }
 criterion_main!(benches);

@@ -41,6 +41,10 @@
 //!   set for frontier dedup;
 //! * [`WeightedSpt`] / [`BfsTree`] — shortest-path trees with path
 //!   extraction;
+//! * [`SubtreeScratch`] / [`tree_edge_child`] — cut/subtree helpers
+//!   over parent-pointer trees: which endpoint of a failed edge is the
+//!   child, and the detached subtree below it in work proportional to
+//!   the subtree (the substrate of `rsp_oracle`'s delta commits);
 //! * [`NextHopTable`] — routing tables in the MPLS sense (consistency of a
 //!   tiebreaking scheme is exactly what makes these well defined);
 //! * [`generators`] — the graph families used across tests and experiments,
@@ -98,6 +102,7 @@ mod pool;
 mod routing;
 mod scratch;
 mod spt;
+mod tree;
 mod weights;
 
 pub use batch::{
@@ -118,4 +123,5 @@ pub use routing::NextHopTable;
 pub use rsp_arith::HeapKind;
 pub use scratch::{bfs_into, dijkstra_into, DirectedCosts, EdgeCostSource, SearchScratch};
 pub use spt::WeightedSpt;
+pub use tree::{tree_edge_child, SubtreeScratch};
 pub use weights::{weighted_sssp, EdgeWeights};

@@ -19,6 +19,13 @@
 //!   readers keep answering from the last good snapshot; staleness is
 //!   *exposed*, not hidden — [`ChurnHealth`] reports the pending-event
 //!   count and the published epoch/sequence lag.
+//! * **Delta-first commits.** With [`ChurnConfig::delta_enabled`] the
+//!   first build attempt patches the published snapshot through
+//!   [`crate::delta::DeltaBuilder`] — per-epoch work proportional to
+//!   the detached subtree, untouched rows shared copy-on-write — and
+//!   still passes the same cross-check gate; any delta refusal or
+//!   failure falls back to the full rebuild with the reason recorded in
+//!   [`ChurnHealth::last_delta_fallback`].
 //! * **Retry, backoff, escalation.** Failed builds retry with
 //!   exponential backoff up to [`ChurnConfig::retry_budget`], then
 //!   escalate to a from-scratch full rebuild that re-derives the fault
@@ -75,6 +82,7 @@ use rsp_graph::{
     WireEventError,
 };
 
+use crate::delta::{DeltaBuilder, DeltaError, DeltaUnsupported};
 use crate::serve::{Oracle, OracleReader};
 use crate::snapshot::{BuildError, OracleSnapshot};
 
@@ -100,6 +108,12 @@ pub struct ChurnConfig {
     /// Seed for the deterministic cross-check source sample (mixed with
     /// the target sequence number, so every build checks fresh rows).
     pub cross_check_seed: u64,
+    /// Attempt a [`crate::delta::DeltaBuilder`] patch of the published
+    /// snapshot before falling back to a full rebuild (default `true`).
+    /// Disable to force every commit through the from-scratch builder —
+    /// the rebuild-only arm of the differential test battery and the
+    /// `commit_rebuild` bench rows run this way.
+    pub delta_enabled: bool,
 }
 
 impl Default for ChurnConfig {
@@ -110,6 +124,7 @@ impl Default for ChurnConfig {
             backoff_cap: Duration::from_millis(500),
             cross_check_sources: 4,
             cross_check_seed: 0x5eed_cafe,
+            delta_enabled: true,
         }
     }
 }
@@ -261,6 +276,10 @@ pub struct CommitReport {
     pub attempts: u32,
     /// `true` iff the publish came from the full-rebuild escalation.
     pub full_rebuild: bool,
+    /// `true` iff the published snapshot was produced by the delta
+    /// builder patching the predecessor (rather than a from-scratch
+    /// rebuild).
+    pub delta: bool,
     /// `false` iff the commit was a no-op (nothing pending, not
     /// degraded), in which case no new epoch was published.
     pub published: bool,
@@ -294,6 +313,15 @@ pub struct ChurnHealth {
     pub commits: u64,
     /// Full-rebuild escalations attempted since construction.
     pub full_rebuilds: u64,
+    /// Publishes served by a delta patch of the predecessor snapshot.
+    pub delta_commits: u64,
+    /// Delta attempts that fell back to the from-scratch builder
+    /// (unsupported shape, tie refusal, panic, or cross-check reject).
+    pub delta_fallbacks: u64,
+    /// Why the most recent delta fallback happened. **Sticky**: kept
+    /// across later successful commits so operators can see why deltas
+    /// degrade to rebuilds even after the pipeline recovers.
+    pub last_delta_fallback: Option<String>,
     /// Human-readable description of the most recent build failure, if
     /// the pipeline is degraded.
     pub last_failure: Option<String>,
@@ -307,6 +335,9 @@ pub struct BuildContext {
     pub attempt: u32,
     /// `true` for the full-rebuild escalation attempt.
     pub full_rebuild: bool,
+    /// `true` when this attempt will try the delta builder first (see
+    /// [`ChurnConfig::delta_enabled`]; only attempt 0 tries deltas).
+    pub delta: bool,
     /// The journal sequence the build is trying to fold in.
     pub target_seq: u64,
 }
@@ -347,6 +378,9 @@ pub struct ChurnPipeline<C: PathCost + 'static> {
     consecutive_failures: u32,
     commits: u64,
     full_rebuilds: u64,
+    delta_commits: u64,
+    delta_fallbacks: u64,
+    last_delta_fallback: Option<String>,
     last_failure: Option<BuildFailure>,
     config: ChurnConfig,
     sleeper: Box<dyn FnMut(Duration) + Send>,
@@ -388,6 +422,9 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
             consecutive_failures: 0,
             commits: 0,
             full_rebuilds: 0,
+            delta_commits: 0,
+            delta_fallbacks: 0,
+            last_delta_fallback: None,
             last_failure: None,
             config,
             sleeper: Box::new(std::thread::sleep),
@@ -526,6 +563,13 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
     /// Recompiles a snapshot folding every accepted event and publishes
     /// it through the epoch swap. No-op when already current.
     ///
+    /// The first attempt patches the published snapshot with the
+    /// **delta builder** when [`ChurnConfig::delta_enabled`]: a
+    /// structural delta refusal runs the from-scratch builder
+    /// immediately in the same attempt, a hard delta failure burns the
+    /// attempt like any build failure, and either reason lands in
+    /// [`ChurnHealth::last_delta_fallback`]. Rebuild-only behavior is
+    /// one config flag away and cell-for-cell equivalent.
     /// Each build attempt is **panic-isolated** and **cross-checked**
     /// against the batch engine on sampled sources; a failed attempt
     /// leaves the last good snapshot serving, backs off exponentially
@@ -544,6 +588,7 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
                 seq: target_seq,
                 attempts: 0,
                 full_rebuild: false,
+                delta: false,
                 published: false,
             });
         }
@@ -552,8 +597,8 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
         for attempt in 0..self.config.retry_budget {
             attempts += 1;
             match self.attempt(attempt, false, target_seq) {
-                Ok(snapshot) => {
-                    return Ok(self.publish_built(snapshot, target_seq, attempts, false))
+                Ok((snapshot, delta)) => {
+                    return Ok(self.publish_built(snapshot, target_seq, attempts, false, delta))
                 }
                 Err(failure) => {
                     self.note_failure(failure);
@@ -568,7 +613,9 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
         attempts += 1;
         self.full_rebuilds += 1;
         match self.attempt(self.config.retry_budget, true, target_seq) {
-            Ok(snapshot) => Ok(self.publish_built(snapshot, target_seq, attempts, true)),
+            Ok((snapshot, _)) => {
+                Ok(self.publish_built(snapshot, target_seq, attempts, true, false))
+            }
             Err(failure) => {
                 self.note_failure(failure.clone());
                 Err(ChurnStalled { attempts, last_failure: failure })
@@ -590,6 +637,9 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
             quarantined_total: self.quarantine.len() as u64,
             commits: self.commits,
             full_rebuilds: self.full_rebuilds,
+            delta_commits: self.delta_commits,
+            delta_fallbacks: self.delta_fallbacks,
+            last_delta_fallback: self.last_delta_fallback.clone(),
             last_failure: self.last_failure.as_ref().map(|f| f.to_string()),
         }
     }
@@ -610,14 +660,26 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
         self.probe = probe;
     }
 
-    /// One panic-isolated build + cross-check attempt.
+    /// One panic-isolated build + cross-check attempt. Returns the
+    /// built snapshot and whether the delta builder produced it.
+    ///
+    /// The fallback ladder: attempt 0 (with [`ChurnConfig::delta_enabled`])
+    /// tries a delta patch of the published snapshot first. A
+    /// **structural refusal** ([`crate::delta::DeltaUnsupported`]) runs
+    /// the from-scratch builder immediately, in the same attempt — no
+    /// backoff is owed for a configuration deltas were never going to
+    /// handle. A **hard delta failure** (panic, rejected configuration,
+    /// cross-check mismatch) fails the attempt like any build failure:
+    /// backoff, then retry — and every later attempt is a full build.
+    /// Either way the reason lands in [`ChurnHealth::last_delta_fallback`].
     fn attempt(
         &mut self,
         attempt: u32,
         full_rebuild: bool,
         target_seq: u64,
-    ) -> Result<OracleSnapshot<C>, BuildFailure> {
-        let ctx = BuildContext { attempt, full_rebuild, target_seq };
+    ) -> Result<(OracleSnapshot<C>, bool), BuildFailure> {
+        let try_delta = attempt == 0 && !full_rebuild && self.config.delta_enabled;
+        let ctx = BuildContext { attempt, full_rebuild, delta: try_delta, target_seq };
         let fault = self.probe.as_mut().map_or(BuildFault::None, |p| p(&ctx));
 
         let faults: FaultSet = if full_rebuild {
@@ -631,7 +693,30 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
             self.state.faults().clone()
         };
 
-        build_and_check(&self.scheme, faults, target_seq, fault, &self.config)
+        if try_delta {
+            let prev = self.oracle.snapshot();
+            match delta_build_and_check(
+                &prev,
+                &self.scheme,
+                faults.clone(),
+                target_seq,
+                fault,
+                &self.config,
+            ) {
+                Ok(snapshot) => return Ok((snapshot, true)),
+                Err(DeltaAttemptError::Unsupported(u)) => {
+                    self.delta_fallbacks += 1;
+                    self.last_delta_fallback = Some(format!("delta unsupported: {u}"));
+                }
+                Err(DeltaAttemptError::Failed(failure)) => {
+                    self.delta_fallbacks += 1;
+                    self.last_delta_fallback = Some(failure.to_string());
+                    return Err(failure);
+                }
+            }
+        }
+
+        build_and_check(&self.scheme, faults, target_seq, fault, &self.config).map(|s| (s, false))
     }
 
     fn publish_built(
@@ -640,13 +725,17 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
         target_seq: u64,
         attempts: u32,
         full_rebuild: bool,
+        delta: bool,
     ) -> CommitReport {
         let epoch = self.oracle.publish(snapshot);
         self.published_seq = target_seq;
         self.consecutive_failures = 0;
         self.last_failure = None;
         self.commits += 1;
-        CommitReport { epoch, seq: target_seq, attempts, full_rebuild, published: true }
+        if delta {
+            self.delta_commits += 1;
+        }
+        CommitReport { epoch, seq: target_seq, attempts, full_rebuild, delta, published: true }
     }
 
     fn note_failure(&mut self, failure: BuildFailure) {
@@ -722,6 +811,55 @@ fn build_and_check<C: PathCost + 'static>(
     match result {
         Ok(outcome) => outcome,
         Err(payload) => Err(BuildFailure::Panicked(panic_message(payload.as_ref()))),
+    }
+}
+
+/// How a delta attempt failed: a structural refusal (run the full
+/// builder now, same attempt) vs. a hard failure (fail the attempt,
+/// back off, retry with full builds).
+enum DeltaAttemptError {
+    Unsupported(DeltaUnsupported),
+    Failed(BuildFailure),
+}
+
+/// The panic-isolated delta-patch + cross-check step: the delta twin of
+/// [`build_and_check`], gated by the **same** sampled batch-engine
+/// cross-check, so a wrong patch can never out-publish a rebuild.
+fn delta_build_and_check<C: PathCost + 'static>(
+    prev: &OracleSnapshot<C>,
+    scheme: &ExactScheme<C>,
+    faults: FaultSet,
+    version: u64,
+    injected: BuildFault,
+    config: &ChurnConfig,
+) -> Result<OracleSnapshot<C>, DeltaAttemptError> {
+    // AssertUnwindSafe: reads `prev`/`scheme`, constructs owned data.
+    let result =
+        catch_unwind(AssertUnwindSafe(|| -> Result<OracleSnapshot<C>, DeltaAttemptError> {
+            if injected == BuildFault::Panic {
+                panic!("injected delta builder panic (target seq {version})");
+            }
+            let mut snapshot = match DeltaBuilder::new(prev).version(version).build(&faults) {
+                Ok((snapshot, _stats)) => snapshot,
+                Err(DeltaError::Unsupported(u)) => return Err(DeltaAttemptError::Unsupported(u)),
+                Err(DeltaError::Build(e)) => {
+                    return Err(DeltaAttemptError::Failed(BuildFailure::Rejected(e)))
+                }
+            };
+            let samples = cross_check_sample(scheme.graph().n(), config, version);
+            if injected == BuildFault::Corrupt {
+                let s = samples.first().copied().unwrap_or(0);
+                snapshot.corrupt_row_for_injection(s);
+            }
+            cross_check(&snapshot, scheme, &samples).map_err(DeltaAttemptError::Failed)?;
+            Ok(snapshot)
+        }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(DeltaAttemptError::Failed(BuildFailure::Panicked(format!(
+            "delta: {}",
+            panic_message(payload.as_ref())
+        )))),
     }
 }
 

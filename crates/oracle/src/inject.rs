@@ -4,17 +4,20 @@
 //! same hostile stream and the same build-fault schedule, so a failing
 //! robustness run reproduces exactly. The harness has three layers:
 //!
-//! * [`random_trace`] — a *valid* event trace: arrivals and repairs
-//!   that each pass validation when applied in order (the ground truth
-//!   a pipeline under attack must still converge to).
+//! * [`random_trace`] / [`random_trace_with`] — a *valid* event trace:
+//!   arrivals and repairs that each pass validation when applied in
+//!   order (the ground truth a pipeline under attack must still
+//!   converge to). [`TraceOptions`] adds dense same-edge repair bursts
+//!   and a concurrent-fault cap for the delta suite.
 //! * [`InjectionPlan`] / [`StreamInjector`] — the wire-level attacker:
 //!   drops, duplicates, reorders, and corrupts the encoded frames of a
 //!   trace before they reach [`ChurnPipeline::ingest_wire`].
-//! * [`flaky_builder`] — the build-side attacker: a probe for
-//!   [`ChurnPipeline::set_build_probe`] that panics the snapshot
-//!   builder or corrupts its output for the first N attempts, then
-//!   heals — exercising retry, backoff, cross-check rejection, and
-//!   full-rebuild escalation.
+//! * [`flaky_builder`] / [`flaky_delta_builder`] — the build-side
+//!   attackers: probes for [`ChurnPipeline::set_build_probe`] that
+//!   panic the snapshot builder (or only its delta patches) or corrupt
+//!   its output for the first N attempts, then heal — exercising retry,
+//!   backoff, cross-check rejection, delta fallback, and full-rebuild
+//!   escalation.
 //!
 //! [`verify_published`] closes the loop: whatever was injected, the
 //! snapshot actually serving must agree cell-for-cell with a fresh
@@ -59,6 +62,9 @@ use super::{BuildFault, BuildProbe, ChurnPipeline};
 /// The trace never gets stuck: when every edge is faulted it must
 /// repair, when none is it must arrive.
 ///
+/// Equivalent to [`random_trace_with`] under [`TraceOptions::default`]
+/// (byte-identical traces, same seed).
+///
 /// # Examples
 ///
 /// ```
@@ -74,13 +80,71 @@ use super::{BuildFault, BuildProbe, ChurnPipeline};
 /// assert_eq!(trace, random_trace(&g, 50, 7), "deterministic in the seed");
 /// ```
 pub fn random_trace(g: &Graph, len: usize, seed: u64) -> Vec<FaultEvent> {
+    random_trace_with(g, len, seed, TraceOptions::default())
+}
+
+/// Shape knobs for [`random_trace_with`]. The default is exactly
+/// [`random_trace`]'s historical behavior (same RNG consumption, so the
+/// same seed yields the same trace).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceOptions {
+    /// Probability a free-choice step repairs instead of arriving
+    /// (default 0.4).
+    pub repair_bias: f64,
+    /// Probability an arrival is immediately followed by a **dense
+    /// burst** on the same edge — `Repair(e)` then `Arrive(e)` appended
+    /// right behind `Arrive(e)`, all inside one commit window (default
+    /// 0.0). This is the same-edge arrive→repair→arrive shape a batched
+    /// commit must fold correctly; plain [`random_trace`] never emits
+    /// it.
+    pub burst: f64,
+    /// Cap on concurrently faulted edges; when reached the trace must
+    /// repair. `None` means the graph's edge count (default).
+    pub max_faults: Option<usize>,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions { repair_bias: 0.4, burst: 0.0, max_faults: None }
+    }
+}
+
+/// [`random_trace`] with [`TraceOptions`]: repair bias, dense same-edge
+/// repair bursts, and a concurrent-fault cap. Every emitted trace is
+/// valid in order from a fault-free start, whatever the options.
+///
+/// # Examples
+///
+/// ```
+/// use rsp_graph::{generators, FaultEvent, FaultState};
+/// use rsp_oracle::churn::inject::{random_trace_with, TraceOptions};
+///
+/// let g = generators::grid(3, 3);
+/// let opts = TraceOptions { burst: 0.5, max_faults: Some(3), ..TraceOptions::default() };
+/// let trace = random_trace_with(&g, 60, 7, opts);
+/// let mut state = FaultState::for_graph(&g);
+/// for ev in &trace {
+///     state.apply(*ev).expect("every trace event validates in order");
+///     assert!(state.len() <= 3, "the fault cap holds at every prefix");
+/// }
+/// // Bursty traces contain the same-edge arrive -> repair -> arrive run:
+/// let bursts = trace.windows(3).filter(|w| match *w {
+///     [FaultEvent::Arrive(a), FaultEvent::Repair(b), FaultEvent::Arrive(c)] => {
+///         a == b && b == c
+///     }
+///     _ => false,
+/// });
+/// assert!(bursts.count() > 0);
+/// ```
+pub fn random_trace_with(g: &Graph, len: usize, seed: u64, opts: TraceOptions) -> Vec<FaultEvent> {
+    let cap = opts.max_faults.unwrap_or(g.m()).min(g.m());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut state = FaultState::for_graph(g);
     let mut trace = Vec::with_capacity(len);
-    for _ in 0..len {
-        let must_repair = state.len() == g.m();
+    while trace.len() < len {
+        let must_repair = state.len() >= cap;
         let must_arrive = state.is_empty();
-        let repair = must_repair || (!must_arrive && rng.random_bool(0.4));
+        let repair = must_repair || (!must_arrive && rng.random_bool(opts.repair_bias));
         let ev = if repair {
             let faulted = state.faults().as_slice();
             FaultEvent::Repair(faulted[rng.random_range(0..faulted.len())])
@@ -90,6 +154,19 @@ pub fn random_trace(g: &Graph, len: usize, seed: u64) -> Vec<FaultEvent> {
         };
         state.apply(ev).expect("trace generator only emits admissible events");
         trace.push(ev);
+        // Dense burst: hammer the edge that just failed with
+        // repair-then-re-arrive. (The `> 0.0` guard keeps the default
+        // RNG consumption identical to the historical generator.)
+        if opts.burst > 0.0 {
+            if let FaultEvent::Arrive(e) = ev {
+                if trace.len() + 2 <= len && rng.random_bool(opts.burst) {
+                    for burst_ev in [FaultEvent::Repair(e), FaultEvent::Arrive(e)] {
+                        state.apply(burst_ev).expect("same-edge burst is always admissible");
+                        trace.push(burst_ev);
+                    }
+                }
+            }
+        }
     }
     trace
 }
@@ -201,6 +278,33 @@ impl StreamInjector {
 pub fn flaky_builder(panics: u32, corrupts: u32) -> BuildProbe {
     let mut seen = 0u32;
     Box::new(move |_ctx| {
+        seen += 1;
+        if seen <= panics {
+            BuildFault::Panic
+        } else if seen <= panics + corrupts {
+            BuildFault::Corrupt
+        } else {
+            BuildFault::None
+        }
+    })
+}
+
+/// A build probe that attacks only **delta** attempts (those with
+/// [`super::BuildContext::delta`] set): the first `panics` delta
+/// attempts panic inside the patch, the next `corrupts` let the patch
+/// succeed and corrupt a cross-checked cell; full-rebuild attempts are
+/// always left alone. Install with [`ChurnPipeline::set_build_probe`].
+///
+/// This is how the delta suite proves the fallback ladder heals: a
+/// poisoned delta burns attempt 0, and the pipeline publishes via the
+/// untouched from-scratch builder with the reason recorded in
+/// [`super::ChurnHealth::last_delta_fallback`].
+pub fn flaky_delta_builder(panics: u32, corrupts: u32) -> BuildProbe {
+    let mut seen = 0u32;
+    Box::new(move |ctx| {
+        if !ctx.delta {
+            return BuildFault::None;
+        }
         seen += 1;
         if seen <= panics {
             BuildFault::Panic

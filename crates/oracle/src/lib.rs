@@ -68,6 +68,7 @@
 #![deny(missing_docs)]
 
 pub mod churn;
+pub mod delta;
 mod serve;
 mod snapshot;
 

@@ -21,6 +21,7 @@
 //! property suite in `tests/oracle_properties.rs` pins this.
 
 use std::borrow::Cow;
+use std::sync::Arc;
 
 use rsp_arith::PathCost;
 use rsp_core::{ExactScheme, Rpts};
@@ -119,7 +120,52 @@ impl std::error::Error for QueryError {}
 /// Flat-array sentinel: "no parent" / "unreachable" / "not a serving
 /// source". Graph sizes are asserted below `u32::MAX`, so the sentinel
 /// never collides with a real vertex, edge, or hop count.
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// One interned canonical tree row: the flat per-vertex arrays of a
+/// single source's selected shortest-path tree.
+///
+/// Rows are stored behind [`Arc`] so snapshots derived from one another
+/// (the delta builder in [`crate::delta`]) share the storage of every
+/// row the change did not touch — copy-on-write via [`Arc::make_mut`].
+/// [`OracleSnapshot::shares_row_storage`] exposes the sharing for
+/// tests, so "delta commit" can be asserted to mean "patched", never
+/// "silently rebuilt".
+#[derive(Clone, Debug)]
+pub(crate) struct TreeRow<C> {
+    /// Parent vertex in the selected tree, [`NONE`] for the source and
+    /// unreachable vertices.
+    pub(crate) parent_vertex: Vec<u32>,
+    /// Edge id to the parent, [`NONE`] alongside `parent_vertex`.
+    pub(crate) parent_edge: Vec<u32>,
+    /// Hop count from the source, [`NONE`] when unreachable.
+    pub(crate) hops: Vec<u32>,
+    /// Exact perturbed path cost; meaningful only where `hops` is not
+    /// [`NONE`] (unreachable cells hold `C::zero()`).
+    pub(crate) costs: Vec<C>,
+}
+
+impl<C: PathCost> TreeRow<C> {
+    /// A row with every vertex unreached.
+    pub(crate) fn unreached(n: usize) -> Self {
+        let mut costs = Vec::new();
+        costs.resize_with(n, C::zero);
+        TreeRow {
+            parent_vertex: vec![NONE; n],
+            parent_edge: vec![NONE; n],
+            hops: vec![NONE; n],
+            costs,
+        }
+    }
+
+    /// Resets one cell to the unreached state, keeping cost storage.
+    pub(crate) fn clear_cell(&mut self, v: Vertex) {
+        self.parent_vertex[v] = NONE;
+        self.parent_edge[v] = NONE;
+        self.hops[v] = NONE;
+        self.costs[v].set_zero();
+    }
+}
 
 /// An immutable compiled routing snapshot: the data-plane artifact the
 /// serving layer publishes and readers answer `(s, t, F)` queries from.
@@ -159,13 +205,10 @@ pub struct OracleSnapshot<C> {
     sources: Vec<Vertex>,
     /// `source_row[v]` is `v`'s row index, or [`NONE`] if not served.
     source_row: Vec<u32>,
-    /// Flat `sources.len() × n` row-major arrays of the fault-free
-    /// canonical trees. [`NONE`] marks "no parent" (source or
-    /// unreachable) and, in `hops`, "unreachable".
-    parent_vertex: Vec<u32>,
-    parent_edge: Vec<u32>,
-    hops: Vec<u32>,
-    costs: Vec<C>,
+    /// One interned canonical tree per serving source, in `sources`
+    /// order. Rows are `Arc`'d so delta-derived snapshots share the
+    /// storage of untouched rows (copy-on-write — see [`TreeRow`]).
+    rows: Vec<Arc<TreeRow<C>>>,
     labels: Option<DistanceLabeling>,
     preserver: Option<Preserver>,
 }
@@ -328,28 +371,23 @@ impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
             }
         }
 
-        let cells = sources.len() * n;
-        let mut parent_vertex = vec![NONE; cells];
-        let mut parent_edge = vec![NONE; cells];
-        let mut hops = vec![NONE; cells];
-        let mut costs = Vec::new();
-        costs.resize_with(cells, C::zero);
-
+        let mut rows = Vec::with_capacity(sources.len());
         let mut scratch = SearchScratch::<C>::with_capacity(n);
-        for (row, &s) in sources.iter().enumerate() {
+        for &s in &sources {
             scheme.spt_into(s, &self.base_faults, &mut scratch);
-            let base = row * n;
+            let mut row: TreeRow<C> = TreeRow::unreached(n);
             for v in g.vertices() {
                 let Some(h) = scratch.hops(v) else { continue };
-                hops[base + v] = h;
+                row.hops[v] = h;
                 if let Some(c) = scratch.cost(v) {
-                    costs[base + v].clone_from(c);
+                    row.costs[v].clone_from(c);
                 }
                 if let Some((p, e)) = scratch.parent(v) {
-                    parent_vertex[base + v] = p as u32;
-                    parent_edge[base + v] = e as u32;
+                    row.parent_vertex[v] = p as u32;
+                    row.parent_edge[v] = e as u32;
                 }
             }
+            rows.push(Arc::new(row));
         }
 
         let labels = self.label_faults.map(|f| build_labeling(&scheme, f));
@@ -361,10 +399,7 @@ impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
             base_faults: self.base_faults,
             sources,
             source_row,
-            parent_vertex,
-            parent_edge,
-            hops,
-            costs,
+            rows,
             labels,
             preserver,
         })
@@ -454,13 +489,57 @@ impl<C: PathCost + 'static> OracleSnapshot<C> {
     /// edges (and the engines ignore them too).
     fn faults_touch_row(&self, row: usize, faults: &FaultSet) -> bool {
         let g = self.scheme.graph();
-        let base = row * g.n();
+        let r = &self.rows[row];
         faults.iter().any(|e| {
             e < g.m() && {
                 let (u, v) = g.endpoints(e);
-                self.parent_edge[base + u] == e as u32 || self.parent_edge[base + v] == e as u32
+                r.parent_edge[u] == e as u32 || r.parent_edge[v] == e as u32
             }
         })
+    }
+
+    /// `true` iff both snapshots serve `s` **and their tree rows for
+    /// `s` are the same physical allocation** (Arc pointer equality) —
+    /// the copy-on-write sharing the delta builder ([`crate::delta`])
+    /// establishes for rows a change did not touch.
+    ///
+    /// Independently built snapshots never share rows, even when their
+    /// cells are equal; this is a storage predicate, not a value
+    /// comparison. The delta test suite uses it to prove "delta commit"
+    /// means "patched", not "silently rebuilt".
+    pub fn shares_row_storage(&self, other: &OracleSnapshot<C>, s: Vertex) -> bool {
+        match (self.row_of(s), other.row_of(s)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(&self.rows[a], &other.rows[b]),
+            _ => false,
+        }
+    }
+
+    /// The interned row at `row` (delta-builder seam).
+    pub(crate) fn row_arc(&self, row: usize) -> &Arc<TreeRow<C>> {
+        &self.rows[row]
+    }
+
+    /// Mutable access to the interned row at `row` (delta-builder
+    /// seam); patch through [`Arc::make_mut`] to keep copy-on-write.
+    pub(crate) fn row_arc_mut(&mut self, row: usize) -> &mut Arc<TreeRow<C>> {
+        &mut self.rows[row]
+    }
+
+    /// Re-stamps the version tag (delta-builder seam).
+    pub(crate) fn set_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
+    /// Re-bases the baked-in fault set (delta-builder seam; the caller
+    /// has already re-derived every affected row for the new set).
+    pub(crate) fn set_base_faults(&mut self, faults: FaultSet) {
+        self.base_faults = faults;
+    }
+
+    /// `true` iff the snapshot carries compiled label/preserver
+    /// artifacts (which a delta patch cannot keep consistent).
+    pub(crate) fn has_derived_artifacts(&self) -> bool {
+        self.labels.is_some() || self.preserver.is_some()
     }
 
     /// The precomputed fault-free canonical tree rooted at `s`, or
@@ -609,10 +688,10 @@ impl<C: PathCost + 'static> OracleSnapshot<C> {
     pub(crate) fn corrupt_row_for_injection(&mut self, s: Vertex) -> bool {
         let Some(row) = self.row_of(s) else { return false };
         let n = self.scheme.graph().n();
-        let base = row * n;
+        let r = Arc::make_mut(&mut self.rows[row]);
         for v in 0..n {
-            if v != s && self.hops[base + v] != NONE {
-                self.hops[base + v] += 1;
+            if v != s && r.hops[v] != NONE {
+                r.hops[v] += 1;
                 return true;
             }
         }
@@ -658,7 +737,7 @@ impl<C: PathCost + 'static> TreeView<'_, C> {
     pub fn reached(&self, t: Vertex) -> bool {
         match &self.inner {
             ViewInner::Baseline { snap, row, .. } => {
-                t < snap.graph().n() && snap.hops[row * snap.graph().n() + t] != NONE
+                t < snap.graph().n() && snap.rows[*row].hops[t] != NONE
             }
             ViewInner::Searched { scratch } => scratch.reached(t),
         }
@@ -670,7 +749,7 @@ impl<C: PathCost + 'static> TreeView<'_, C> {
     pub fn dist(&self, t: Vertex) -> Option<u32> {
         match &self.inner {
             ViewInner::Baseline { snap, row, .. } => {
-                let h = *snap.hops.get(row * snap.graph().n() + t)?;
+                let h = *snap.rows[*row].hops.get(t)?;
                 (h != NONE).then_some(h)
             }
             ViewInner::Searched { scratch } => scratch.hops(t),
@@ -682,8 +761,8 @@ impl<C: PathCost + 'static> TreeView<'_, C> {
     pub fn cost(&self, t: Vertex) -> Option<&C> {
         match &self.inner {
             ViewInner::Baseline { snap, row, .. } => {
-                let base = row * snap.graph().n();
-                (*snap.hops.get(base + t)? != NONE).then(|| &snap.costs[base + t])
+                let r = &snap.rows[*row];
+                (*r.hops.get(t)? != NONE).then(|| &r.costs[t])
             }
             ViewInner::Searched { scratch } => scratch.cost(t),
         }
@@ -695,9 +774,9 @@ impl<C: PathCost + 'static> TreeView<'_, C> {
     pub fn parent(&self, t: Vertex) -> Option<(Vertex, EdgeId)> {
         match &self.inner {
             ViewInner::Baseline { snap, row, .. } => {
-                let base = row * snap.graph().n();
-                let p = *snap.parent_vertex.get(base + t)?;
-                (p != NONE).then(|| (p as Vertex, snap.parent_edge[base + t] as EdgeId))
+                let r = &snap.rows[*row];
+                let p = *r.parent_vertex.get(t)?;
+                (p != NONE).then(|| (p as Vertex, r.parent_edge[t] as EdgeId))
             }
             ViewInner::Searched { scratch } => scratch.parent(t),
         }

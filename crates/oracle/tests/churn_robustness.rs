@@ -15,7 +15,8 @@ use proptest::prelude::*;
 use rsp_core::{RandomGridAtw, Rpts};
 use rsp_graph::{generators, FaultEvent, FaultSet, FaultState, Graph};
 use rsp_oracle::churn::inject::{
-    flaky_builder, random_trace, verify_converged, verify_published, InjectionPlan, StreamInjector,
+    flaky_builder, random_trace, random_trace_with, verify_converged, verify_published,
+    InjectionPlan, StreamInjector, TraceOptions,
 };
 use rsp_oracle::churn::{BuildFailure, ChurnConfig, ChurnPipeline};
 
@@ -278,6 +279,39 @@ fn quarantine_reason_codes() {
     verify_converged(&pipeline).unwrap();
 }
 
+/// Regression (ISSUE 8): a dense same-edge burst — arrive, repair,
+/// arrive of one edge — folded inside a **single** commit window. The
+/// plain generator never produced this interleaving, so nothing
+/// exercised a batch whose net effect re-faults an edge the same batch
+/// repaired. The committed snapshot must fold the *final* state (edge
+/// faulted) and match the engines cell-for-cell.
+#[test]
+fn same_edge_arrive_repair_arrive_in_one_batch() {
+    let g = generators::grid(4, 4);
+    let scheme = scheme_for(&g, 42);
+    let mut pipeline = ChurnPipeline::with_config(&scheme, test_config()).unwrap();
+    recording_sleeper(&mut pipeline);
+
+    let e = g.edge_between(0, 1).unwrap();
+    pipeline.ingest(FaultEvent::Arrive(e)).unwrap();
+    pipeline.ingest(FaultEvent::Repair(e)).unwrap();
+    pipeline.ingest(FaultEvent::Arrive(e)).unwrap();
+    let report = pipeline.commit().unwrap();
+    assert!(report.published);
+    assert_eq!(report.seq, 3, "all three burst events fold into one epoch");
+    assert!(pipeline.published_snapshot().base_faults().contains(e));
+    verify_converged(&pipeline).unwrap();
+
+    // And the opposite net effect — burst ending in a repair — lands
+    // back on the fault-free state in one batch too.
+    pipeline.ingest(FaultEvent::Repair(e)).unwrap();
+    pipeline.ingest(FaultEvent::Arrive(e)).unwrap();
+    pipeline.ingest(FaultEvent::Repair(e)).unwrap();
+    pipeline.commit().unwrap();
+    assert!(pipeline.published_snapshot().base_faults().is_empty());
+    verify_converged(&pipeline).unwrap();
+}
+
 /// An empty commit is a no-op: no build, no epoch bump.
 #[test]
 fn idle_commit_is_a_noop() {
@@ -352,6 +386,43 @@ proptest! {
         );
         // Out-of-range ids never entered the journal.
         prop_assert!(pipeline.journal().iter().all(|ev| ev.edge() < g.m()));
+    }
+
+    /// Bursty traces stay valid (every event admissible in order, the
+    /// fault cap held at every prefix) and survive the hostile wire
+    /// injector: the pipeline converges on whatever was accepted, dense
+    /// same-edge repair bursts included.
+    #[test]
+    fn bursty_hostile_streams_converge(
+        wseed in any::<u64>(),
+        tseed in any::<u64>(),
+        burst_pct in 10u32..=60,
+    ) {
+        let g = generators::grid(3, 3);
+        let opts = TraceOptions {
+            burst: f64::from(burst_pct) / 100.0,
+            max_faults: Some(3),
+            ..TraceOptions::default()
+        };
+        let trace = random_trace_with(&g, 40, tseed, opts);
+        let mut state = FaultState::for_graph(&g);
+        for ev in &trace {
+            state.apply(*ev).expect("bursty trace events validate in order");
+            prop_assert!(state.len() <= 3, "fault cap violated");
+        }
+        let scheme = scheme_for(&g, wseed);
+        let mut pipeline = ChurnPipeline::with_config(&scheme, test_config()).unwrap();
+        recording_sleeper(&mut pipeline);
+        let mut injector = StreamInjector::new(InjectionPlan::hostile(tseed));
+        for frame in injector.perturb(&trace) {
+            let _ = pipeline.ingest_wire(&frame);
+        }
+        pipeline.commit().unwrap();
+        verify_converged(&pipeline).unwrap();
+        prop_assert_eq!(
+            pipeline.published_snapshot().base_faults(),
+            &independent_fold(&g, pipeline.journal())
+        );
     }
 
     /// Injected builder panics at arbitrary points never tear state:
