@@ -26,6 +26,19 @@
 //!   smaller grid: perturb a valid trace, ingest every delivered frame,
 //!   commit, and verify full convergence (published snapshot equal to a
 //!   fresh engine run on the accepted fault state, every cell).
+//! * `recover_genesis` vs `recover_checkpoint` — restart cost from a
+//!   durable journal byte stream: the genesis stream re-validates every
+//!   accepted event of a long trace, the compacted stream folds one
+//!   checkpoint frame and replays only the short tail. Both land on the
+//!   identical state (asserted untimed after the rows); the gap is what
+//!   `ChurnPipeline::checkpoint`/`compact` buy a long deployment at
+//!   restart.
+//! * `scrub_tick_clean` — one budgeted audit tick of the background
+//!   integrity scrubber on a clean snapshot (the steady-state overhead:
+//!   a `dijkstra_batch` over `rows_per_tick` sources, zero publishes).
+//!   An untimed `serve_scrub_off` / `serve_scrub_on` pair then reports
+//!   reader p50/p99 query latency with a scrubber thread hammering
+//!   audits concurrently — the contention cost of continuous scrubbing.
 //!
 //! After the timed rows the bench prints the delta-vs-rebuild commit
 //! split from `ChurnHealth` (delta commits, fallbacks, last fallback
@@ -34,19 +47,22 @@
 //! Append results to the repo's `BENCH_<n>.json` trajectory with:
 //!
 //! ```sh
-//! CRITERION_JSON_PATH="$PWD/BENCH_8.json" \
+//! CRITERION_JSON_PATH="$PWD/BENCH_9.json" \
 //!   cargo bench -p rsp_bench --bench oracle_churn
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsp_core::{ExactScheme, RandomGridAtw};
-use rsp_graph::{generators, FaultEvent, Graph};
+use rsp_graph::{generators, FaultEvent, FaultSet, Graph};
 use rsp_oracle::churn::inject::{
     random_trace, random_trace_with, verify_converged, InjectionPlan, StreamInjector, TraceOptions,
 };
 use rsp_oracle::churn::{ChurnConfig, ChurnPipeline};
+use rsp_oracle::scrub::{ScrubConfig, Scrubber};
+use rsp_oracle::Oracle;
 
 /// Events in the hostile ingestion batch (before drops/duplicates).
 const TRACE_LEN: usize = 512;
@@ -244,6 +260,154 @@ fn bench_injection_convergence(c: &mut Criterion) {
     );
 }
 
+/// Accepted events in the long recovery trace (the compacted prefix).
+/// Sized so genesis replay cost dominates the one-time snapshot build
+/// a recovery ends with — the regime a long-lived deployment restarts
+/// in, and the gap checkpointed compaction exists to close.
+const RECOVERY_TRACE: usize = 262_144;
+/// Events accepted after the checkpoint (the journal tail).
+const RECOVERY_TAIL: usize = 64;
+
+fn bench_recovery(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    let trace = random_trace_with(
+        &g,
+        RECOVERY_TRACE + RECOVERY_TAIL,
+        0x1090_0001,
+        TraceOptions { burst: 0.25, max_faults: Some(8), ..TraceOptions::default() },
+    );
+
+    // Two pipelines accept the identical history; one checkpoints and
+    // compacts before the tail, the other keeps genesis event frames.
+    // The admission cap is raised past the trace: this bench measures
+    // restart cost of a long *accepted* history, not live shedding.
+    let cfg = ChurnConfig {
+        max_pending_events: RECOVERY_TRACE + RECOVERY_TAIL,
+        ..ChurnConfig::default()
+    };
+    let mut genesis =
+        ChurnPipeline::with_config(&scheme, cfg.clone()).expect("fault-free build succeeds");
+    let mut compacted =
+        ChurnPipeline::with_config(&scheme, cfg).expect("fault-free build succeeds");
+    genesis.set_sleeper(|_| {});
+    compacted.set_sleeper(|_| {});
+    for (i, &ev) in trace.iter().enumerate() {
+        genesis.ingest(ev).expect("valid trace events are admissible");
+        compacted.ingest(ev).expect("valid trace events are admissible");
+        if i + 1 == RECOVERY_TRACE {
+            compacted.checkpoint();
+            compacted.compact();
+        }
+    }
+    genesis.commit().expect("healthy commit publishes");
+    compacted.commit().expect("healthy commit publishes");
+    let genesis_bytes = genesis.export_journal();
+    let checkpoint_bytes = compacted.export_journal();
+
+    let mut group = c.benchmark_group("oracle_churn/u128_grid16x16");
+    group.bench_function("recover_genesis", |b| {
+        b.iter(|| {
+            let (p, _) = ChurnPipeline::recover(&scheme, &genesis_bytes, ChurnConfig::default())
+                .expect("a pristine genesis journal recovers");
+            p.accepted_seq()
+        })
+    });
+    group.bench_function("recover_checkpoint", |b| {
+        b.iter(|| {
+            let (p, _) = ChurnPipeline::recover(&scheme, &checkpoint_bytes, ChurnConfig::default())
+                .expect("a pristine checkpoint journal recovers");
+            p.accepted_seq()
+        })
+    });
+    group.finish();
+
+    // Untimed equivalence proof: both streams recover the same state.
+    let (a, ra) = ChurnPipeline::recover(&scheme, &genesis_bytes, ChurnConfig::default())
+        .expect("a pristine genesis journal recovers");
+    let (b, rb) = ChurnPipeline::recover(&scheme, &checkpoint_bytes, ChurnConfig::default())
+        .expect("a pristine checkpoint journal recovers");
+    assert_eq!(a.fault_state(), b.fault_state(), "recovery paths must agree");
+    assert_eq!(a.accepted_seq(), b.accepted_seq(), "recovery paths must agree");
+    println!(
+        "oracle_churn/u128_grid16x16 recovery: genesis {} bytes / {} events vs \
+         checkpoint {} bytes (checkpoint seq {}, {} tail events), states identical",
+        genesis_bytes.len(),
+        ra.events,
+        checkpoint_bytes.len(),
+        rb.checkpoint_seq,
+        rb.events,
+    );
+}
+
+/// Reader queries in each untimed scrub-overhead measurement.
+const SCRUB_QUERIES: usize = 20_000;
+
+fn bench_scrub(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    let oracle = Oracle::build(&scheme);
+
+    let mut scrubber = Scrubber::new(oracle.clone(), ScrubConfig::default());
+    let mut group = c.benchmark_group("oracle_churn/u128_grid16x16");
+    group.bench_function("scrub_tick_clean", |b| b.iter(|| scrubber.tick().rows_audited));
+    group.finish();
+
+    let faults = FaultSet::empty();
+    let measure = |oracle: &Oracle<u128>| -> Vec<u64> {
+        let mut reader = oracle.reader();
+        let mut lat = Vec::with_capacity(SCRUB_QUERIES);
+        for i in 0..SCRUB_QUERIES {
+            let s = i % g.n();
+            let t = (s * 97 + 13) % g.n();
+            let t0 = Instant::now();
+            let d = reader.dist(s, t, &faults);
+            lat.push(t0.elapsed().as_nanos() as u64);
+            assert!(s == t || d.is_some(), "grid queries always reach");
+        }
+        lat.sort_unstable();
+        lat
+    };
+    let pick = |lat: &[u64], p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+
+    let off = measure(&oracle);
+    println!(
+        "oracle_churn/u128_grid16x16 serve_scrub_off: p50={}ns p99={}ns ({} queries)",
+        pick(&off, 0.50),
+        pick(&off, 0.99),
+        SCRUB_QUERIES,
+    );
+
+    // Same measurement with a scrubber thread auditing continuously —
+    // the reader pays only CPU contention, never a lock (clean ticks
+    // publish nothing).
+    let stop = AtomicBool::new(false);
+    let stop_ref = &stop;
+    let bg = oracle.clone();
+    let (on, audited) = std::thread::scope(|scope| {
+        let ticker = scope.spawn(move || {
+            let mut scrubber = Scrubber::new(bg, ScrubConfig::default());
+            while !stop_ref.load(Ordering::Relaxed) {
+                scrubber.tick();
+            }
+            scrubber.health()
+        });
+        let on = measure(&oracle);
+        stop_ref.store(true, Ordering::Relaxed);
+        let health = ticker.join().expect("scrub thread never panics");
+        assert_eq!(health.corruptions_found, 0, "a clean snapshot audits clean");
+        (on, health.rows_audited)
+    });
+    println!(
+        "oracle_churn/u128_grid16x16 serve_scrub_on: p50={}ns p99={}ns \
+         ({} queries, {} rows audited concurrently)",
+        pick(&on, 0.50),
+        pick(&on, 0.99),
+        SCRUB_QUERIES,
+        audited,
+    );
+}
+
 fn config() -> Criterion {
     Criterion::default().sample_size(20)
 }
@@ -251,6 +415,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_ingest, bench_commit_grid, bench_commit_gnm, bench_injection_convergence
+    targets = bench_ingest, bench_commit_grid, bench_commit_gnm, bench_injection_convergence,
+        bench_recovery, bench_scrub
 }
 criterion_main!(benches);

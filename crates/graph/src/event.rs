@@ -247,6 +247,29 @@ impl FaultState {
         FaultState::new(g.m())
     }
 
+    /// A fault state with `faults` already applied, validated against a
+    /// graph with `m` edges — the checkpoint-recovery constructor (see
+    /// [`crate::journal`]). Every edge must be `< m`; an out-of-range
+    /// edge is rejected with [`FaultEventError::EdgeOutOfRange`] so a
+    /// corrupted checkpoint can never smuggle an invalid state past the
+    /// stream's validation gate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_graph::{FaultSet, FaultState};
+    ///
+    /// let st = FaultState::with_faults(10, FaultSet::from_edges([2, 7])).unwrap();
+    /// assert_eq!(st.faults().as_slice(), &[2, 7]);
+    /// assert!(FaultState::with_faults(10, FaultSet::single(10)).is_err());
+    /// ```
+    pub fn with_faults(m: usize, faults: FaultSet) -> Result<Self, FaultEventError> {
+        if let Some(edge) = faults.iter().find(|&e| e >= m) {
+            return Err(FaultEventError::EdgeOutOfRange { edge, m });
+        }
+        Ok(FaultState { m, faults })
+    }
+
     /// Validates `ev` against the graph and the current state, and
     /// applies it if valid. On `Err` the state is unchanged.
     pub fn apply(&mut self, ev: FaultEvent) -> Result<(), FaultEventError> {

@@ -97,6 +97,7 @@ mod fault;
 pub mod generators;
 mod graph;
 mod io;
+pub mod journal;
 mod path;
 mod pool;
 mod routing;

@@ -33,12 +33,36 @@
 //! * **Deterministic recovery.** The accepted-event journal is
 //!   append-only; [`ChurnPipeline::replay`] reconstructs an identical
 //!   pipeline from it after a crash.
+//! * **Durable, bounded journal state.** Journal streams serialize
+//!   through the CRC-framed codec in [`rsp_graph::journal`]
+//!   ([`ChurnPipeline::export_journal`]); [`ChurnPipeline::checkpoint`]
+//!   folds the accepted prefix into a [`rsp_graph::journal::JournalCheckpoint`]
+//!   frame and [`ChurnPipeline::compact`] truncates the in-memory tail
+//!   behind it, so journal memory stays proportional to the events
+//!   since the last checkpoint, not the stream's lifetime.
+//!   [`ChurnPipeline::recover`] rebuilds a pipeline from serialized
+//!   bytes — [`ChurnPipeline::replay_from`] from the last checkpoint
+//!   when one is present, genesis [`ChurnPipeline::replay`] otherwise —
+//!   tolerating a torn final frame (truncated mid-append = clean
+//!   recovery point) and refusing interior corruption with a typed
+//!   [`rsp_graph::journal::JournalDecodeError`], never a panic.
+//! * **Admission control.** [`ChurnConfig::max_pending_events`] caps
+//!   journaled-but-uncommitted events: past it, ingestion sheds with a
+//!   typed [`Backpressure`] error instead of growing state without
+//!   bound behind a stalled builder ([`ChurnHealth::shed_events`]
+//!   counts the sheds; replayed/recovered journals are never shed).
 //!
 //! The seeded fault-injection harness in [`inject`] drives all of this
 //! in `crates/oracle/tests/churn_robustness.rs`: dropped, duplicated,
 //! reordered, and corrupted wire streams plus builder panics at chosen
 //! steps, asserting the oracle never serves an answer inconsistent with
 //! its published snapshot and always converges once injection stops.
+//! `crates/oracle/tests/journal_recovery.rs` drives the durability
+//! layer the same way: bit-flipped and truncated journal streams,
+//! recovery-equivalence proptests at every compaction point, and the
+//! bounded-memory soak. See the "Durability, compaction & scrubbing"
+//! chapter of `docs/ARCHITECTURE.md` for the frame format and the
+//! checkpoint lifecycle.
 //!
 //! # Examples
 //!
@@ -77,6 +101,9 @@ use std::time::Duration;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rsp_arith::PathCost;
 use rsp_core::{ExactScheme, Rpts};
+use rsp_graph::journal::{
+    decode_journal, JournalCheckpoint, JournalDecodeError, JournalFrame, JournalTail,
+};
 use rsp_graph::{
     dijkstra_batch, BatchScratch, FaultEvent, FaultEventError, FaultSet, FaultState, Vertex,
     WireEventError,
@@ -114,6 +141,17 @@ pub struct ChurnConfig {
     /// the rebuild-only arm of the differential test battery and the
     /// `commit_rebuild` bench rows run this way.
     pub delta_enabled: bool,
+    /// Admission-control cap on journaled-but-uncommitted events
+    /// (default 65 536). When [`ChurnPipeline::pending_events`] reaches
+    /// this cap, further events are **shed** with a typed
+    /// [`IngestError::Backpressure`] — not journaled, not quarantined —
+    /// so a stalled builder cannot grow pipeline state without bound.
+    pub max_pending_events: usize,
+    /// Upper bound on the retained quarantine log (default 1 024).
+    /// Older [`QuarantinedEvent`]s are dropped once the log is full;
+    /// [`ChurnHealth::quarantined_total`] keeps counting every
+    /// quarantine regardless.
+    pub max_quarantine_log: usize,
 }
 
 impl Default for ChurnConfig {
@@ -125,6 +163,8 @@ impl Default for ChurnConfig {
             cross_check_sources: 4,
             cross_check_seed: 0x5eed_cafe,
             delta_enabled: true,
+            max_pending_events: 65_536,
+            max_quarantine_log: 1_024,
         }
     }
 }
@@ -193,6 +233,59 @@ impl std::fmt::Display for QuarantineReason {
 }
 
 impl std::error::Error for QuarantineReason {}
+
+/// Admission-control shedding: the pipeline's pending-event cap
+/// ([`ChurnConfig::max_pending_events`]) is reached, so the offered
+/// event was refused outright — not journaled, not quarantined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backpressure {
+    /// Journaled-but-uncommitted events at the time of the refusal.
+    pub pending: u64,
+    /// The configured cap that was hit.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "backpressure: {} pending events at cap {}", self.pending, self.cap)
+    }
+}
+
+impl std::error::Error for Backpressure {}
+
+/// Why [`ChurnPipeline::ingest`] / [`ChurnPipeline::ingest_wire`]
+/// refused an offered event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The event failed decode or validation and was quarantined with a
+    /// typed reason.
+    Quarantined(QuarantineReason),
+    /// The pending-event cap was hit; the event was shed (see
+    /// [`Backpressure`]).
+    Backpressure(Backpressure),
+}
+
+impl IngestError {
+    /// A stable short reason code: the quarantine code
+    /// ([`QuarantineReason::code`]) or `"backpressure"`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            IngestError::Quarantined(reason) => reason.code(),
+            IngestError::Backpressure(_) => "backpressure",
+        }
+    }
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Quarantined(reason) => reason.fmt(f),
+            IngestError::Backpressure(bp) => bp.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
 
 /// One quarantined event: what arrived, where in the offered stream,
 /// and why it was refused.
@@ -299,9 +392,18 @@ pub struct ChurnHealth {
     pub published_seq: u64,
     /// Journal sequence of the last accepted event.
     pub accepted_seq: u64,
+    /// Journal sequence of the last event compacted out of memory (0
+    /// before any [`ChurnPipeline::compact`]).
+    pub compacted_seq: u64,
+    /// Events currently held in the in-memory journal tail — the
+    /// bounded-memory number the compaction loop keeps small.
+    pub journal_tail_len: usize,
     /// `accepted_seq - published_seq`: the served snapshot's staleness
     /// in events.
     pub pending_events: u64,
+    /// Events shed by admission control
+    /// ([`ChurnConfig::max_pending_events`]) since construction.
+    pub shed_events: u64,
     /// `true` iff the pipeline is serving a stale last-good snapshot
     /// because builds are failing.
     pub degraded: bool,
@@ -371,8 +473,24 @@ pub struct ChurnPipeline<C: PathCost + 'static> {
     oracle: Oracle<C>,
     scheme: ExactScheme<C>,
     state: FaultState,
+    /// The in-memory journal **tail**: accepted events *after* the last
+    /// compaction point. `journal[k]` has sequence `base_seq + k + 1`.
     journal: Vec<FaultEvent>,
+    /// Sequence of the last event folded into `base_state` (0 before
+    /// any compaction: the tail is the whole journal).
+    base_seq: u64,
+    /// The fold of the compacted prefix `1..=base_seq` — what a full
+    /// rebuild re-derives the fault state from, together with the tail.
+    base_state: FaultState,
+    /// Oracle epoch recorded by the compaction checkpoint (exported in
+    /// [`ChurnPipeline::export_journal`]'s checkpoint frame).
+    base_epoch: u64,
+    /// The most recent [`ChurnPipeline::checkpoint`], if any — the
+    /// point [`ChurnPipeline::compact`] truncates to.
+    last_checkpoint: Option<JournalCheckpoint>,
     quarantine: Vec<QuarantinedEvent>,
+    quarantined_total: u64,
+    shed: u64,
     offered: u64,
     published_seq: u64,
     consecutive_failures: u32,
@@ -392,6 +510,7 @@ impl<C: PathCost + 'static> std::fmt::Debug for ChurnPipeline<C> {
         f.debug_struct("ChurnPipeline")
             .field("state", &self.state)
             .field("journal_len", &self.journal.len())
+            .field("base_seq", &self.base_seq)
             .field("quarantined", &self.quarantine.len())
             .field("published_seq", &self.published_seq)
             .field("consecutive_failures", &self.consecutive_failures)
@@ -416,7 +535,13 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
             scheme: scheme.clone(),
             state: FaultState::new(scheme.graph().m()),
             journal: Vec::new(),
+            base_seq: 0,
+            base_state: FaultState::new(scheme.graph().m()),
+            base_epoch: 0,
+            last_checkpoint: None,
             quarantine: Vec::new(),
+            quarantined_total: 0,
+            shed: 0,
             offered: 0,
             published_seq: 0,
             consecutive_failures: 0,
@@ -466,12 +591,217 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
     ) -> Result<Self, ReplayError> {
         let mut pipeline = Self::with_config(scheme, config).map_err(ReplayError::Build)?;
         for (i, &ev) in journal.iter().enumerate() {
+            // Recovery replays bypass admission control: re-validating
+            // an accepted journal must never be shed by the live cap.
             pipeline
-                .ingest(ev)
+                .ingest_validated(ev)
                 .map_err(|reason| ReplayError::Rejected { seq: i as u64 + 1, reason })?;
         }
         pipeline.commit().map_err(ReplayError::Stalled)?;
         Ok(pipeline)
+    }
+
+    /// Reconstructs a pipeline from a compaction checkpoint plus the
+    /// journal tail recorded after it — recovery that skips replaying
+    /// the compacted prefix event by event. The result is
+    /// **state-identical to genesis replay** of the full journal (same
+    /// fault state, same accepted sequence, same snapshot cells); the
+    /// recovery-equivalence proptests pin this at every compaction
+    /// point.
+    ///
+    /// The checkpoint is validated against the scheme's graph before
+    /// anything is applied: a wrong edge count or an impossible
+    /// `seq == 0` non-empty state is a typed [`ReplayError`], never a
+    /// panic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::{generators, FaultEvent};
+    /// use rsp_oracle::churn::{ChurnConfig, ChurnPipeline};
+    ///
+    /// let g = generators::grid(4, 4);
+    /// let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    /// let mut a = ChurnPipeline::new(&scheme).unwrap();
+    /// a.ingest(FaultEvent::Arrive(0)).unwrap();
+    /// a.commit().unwrap();
+    ///
+    /// // Checkpoint, compact, keep churning: memory holds only the tail.
+    /// let ckpt = a.checkpoint();
+    /// a.compact();
+    /// a.ingest(FaultEvent::Arrive(5)).unwrap();
+    /// a.commit().unwrap();
+    /// assert_eq!(a.journal().len(), 1, "the compacted prefix left memory");
+    ///
+    /// // Crash. Recover from the checkpoint + tail alone:
+    /// let b = ChurnPipeline::replay_from(&scheme, &ckpt, a.journal(), ChurnConfig::default())
+    ///     .unwrap();
+    /// assert_eq!(b.fault_state(), a.fault_state());
+    /// assert_eq!(b.accepted_seq(), a.accepted_seq());
+    /// ```
+    pub fn replay_from(
+        scheme: &ExactScheme<C>,
+        checkpoint: &JournalCheckpoint,
+        tail: &[FaultEvent],
+        config: ChurnConfig,
+    ) -> Result<Self, ReplayError> {
+        let graph_m = scheme.graph().m();
+        if checkpoint.state.edge_count() != graph_m {
+            return Err(ReplayError::CheckpointMismatch {
+                checkpoint_m: checkpoint.state.edge_count(),
+                graph_m,
+            });
+        }
+        if checkpoint.seq == 0 && !checkpoint.state.is_empty() {
+            return Err(ReplayError::CheckpointInconsistent { faults: checkpoint.state.len() });
+        }
+        let mut pipeline = Self::with_config(scheme, config).map_err(ReplayError::Build)?;
+        pipeline.state = checkpoint.state.clone();
+        pipeline.base_state = checkpoint.state.clone();
+        pipeline.base_seq = checkpoint.seq;
+        pipeline.base_epoch = checkpoint.epoch;
+        for (i, &ev) in tail.iter().enumerate() {
+            pipeline.ingest_validated(ev).map_err(|reason| ReplayError::Rejected {
+                seq: checkpoint.seq + i as u64 + 1,
+                reason,
+            })?;
+        }
+        pipeline.commit().map_err(ReplayError::Stalled)?;
+        Ok(pipeline)
+    }
+
+    /// Recovers a pipeline from a durable journal **byte stream** (the
+    /// [`ChurnPipeline::export_journal`] format): decode every CRC-framed
+    /// entry, fold from the *last* checkpoint frame (genesis when there
+    /// is none), and replay the events after it.
+    ///
+    /// A **torn tail** — the stream's final frame cut short by a crash
+    /// mid-write — is tolerated as a clean recovery point and reported
+    /// in [`RecoveryReport::torn_tail_at`]. Interior corruption (a
+    /// checksum-failing, unknown-kind, or undecodable frame with more
+    /// frames after it) is a typed [`RecoverError`], never a panic and
+    /// never a silently wrong state.
+    pub fn recover(
+        scheme: &ExactScheme<C>,
+        bytes: &[u8],
+        config: ChurnConfig,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let decoded = decode_journal(bytes).map_err(RecoverError::Decode)?;
+        let torn_tail_at = match decoded.tail {
+            JournalTail::Torn { offset } => Some(offset),
+            JournalTail::Clean => None,
+        };
+        let frames = decoded.frames.len();
+        let mut checkpoint: Option<JournalCheckpoint> = None;
+        let mut tail: Vec<FaultEvent> = Vec::new();
+        for frame in decoded.frames {
+            match frame {
+                JournalFrame::Checkpoint(c) => {
+                    checkpoint = Some(c);
+                    tail.clear();
+                }
+                JournalFrame::Event(ev) => tail.push(ev),
+            }
+        }
+        let report = RecoveryReport {
+            frames,
+            events: tail.len(),
+            checkpoint_seq: checkpoint.as_ref().map_or(0, |c| c.seq),
+            torn_tail_at,
+        };
+        let pipeline = match &checkpoint {
+            Some(c) => Self::replay_from(scheme, c, &tail, config),
+            None => Self::replay(scheme, &tail, config),
+        }
+        .map_err(RecoverError::Replay)?;
+        Ok((pipeline, report))
+    }
+
+    /// Records a compaction checkpoint: the fold of every accepted
+    /// event so far, at the current accepted sequence and serving
+    /// epoch. The checkpoint is retained as the pipeline's latest (the
+    /// point [`ChurnPipeline::compact`] truncates to) and returned for
+    /// durable storage.
+    ///
+    /// Checkpointing captures the **accepted** state, which may be
+    /// ahead of the published snapshot; recovery replays through its
+    /// own commit, so the distinction cannot leak into serving.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsp_core::RandomGridAtw;
+    /// use rsp_graph::{generators, FaultEvent};
+    /// use rsp_oracle::churn::ChurnPipeline;
+    ///
+    /// let g = generators::grid(4, 4);
+    /// let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+    /// let mut pipeline = ChurnPipeline::new(&scheme).unwrap();
+    /// pipeline.ingest(FaultEvent::Arrive(3)).unwrap();
+    /// pipeline.commit().unwrap();
+    ///
+    /// let ckpt = pipeline.checkpoint();
+    /// assert_eq!(ckpt.seq, 1);
+    /// assert_eq!(ckpt.state.faults().as_slice(), &[3]);
+    ///
+    /// // Compaction drops the checkpointed prefix from memory.
+    /// assert_eq!(pipeline.compact(), 1);
+    /// assert!(pipeline.journal().is_empty());
+    /// assert_eq!(pipeline.journal_base_seq(), 1);
+    /// ```
+    pub fn checkpoint(&mut self) -> JournalCheckpoint {
+        let ckpt = JournalCheckpoint {
+            seq: self.accepted_seq(),
+            epoch: self.oracle.epoch(),
+            state: self.state.clone(),
+        };
+        self.last_checkpoint = Some(ckpt.clone());
+        ckpt
+    }
+
+    /// Truncates the in-memory journal prefix covered by the latest
+    /// [`ChurnPipeline::checkpoint`], re-basing the tail on the
+    /// checkpoint's folded state. Returns the number of events dropped
+    /// from memory (0 when no checkpoint is newer than the last
+    /// compaction).
+    ///
+    /// This is what keeps journal memory `O(events since checkpoint)`
+    /// under unbounded churn: a `checkpoint(); compact();` loop bounds
+    /// the tail at the checkpoint cadence, and
+    /// [`ChurnHealth::journal_tail_len`] exposes the bound holding.
+    pub fn compact(&mut self) -> u64 {
+        let Some(ckpt) = self.last_checkpoint.clone() else { return 0 };
+        if ckpt.seq <= self.base_seq {
+            return 0;
+        }
+        let dropped = (ckpt.seq - self.base_seq) as usize;
+        self.journal.drain(..dropped);
+        self.base_seq = ckpt.seq;
+        self.base_state = ckpt.state;
+        self.base_epoch = ckpt.epoch;
+        dropped as u64
+    }
+
+    /// Serializes the journal as a durable CRC-framed byte stream: a
+    /// checkpoint frame for the compacted prefix (when one exists),
+    /// then one event frame per tail event. Feed the bytes to
+    /// [`ChurnPipeline::recover`] after a crash; a stream torn mid-write
+    /// still recovers everything before the tear.
+    pub fn export_journal(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        if self.base_seq > 0 {
+            JournalFrame::Checkpoint(JournalCheckpoint {
+                seq: self.base_seq,
+                epoch: self.base_epoch,
+                state: self.base_state.clone(),
+            })
+            .encode_into(&mut out);
+        }
+        for &ev in &self.journal {
+            JournalFrame::Event(ev).encode_into(&mut out);
+        }
+        out
     }
 
     /// The serving handle. Clone it for control-plane sharing; call
@@ -497,14 +827,32 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
         &self.state
     }
 
-    /// The append-only accepted-event journal. `journal()[k]` is the
-    /// event with sequence number `k + 1`; feed the slice to
-    /// [`ChurnPipeline::replay`] for crash recovery.
+    /// The in-memory accepted-event journal **tail**: events after the
+    /// last compaction point. `journal()[k]` is the event with sequence
+    /// number [`ChurnPipeline::journal_base_seq`]` + k + 1`. Before any
+    /// [`ChurnPipeline::compact`] the tail is the whole journal and can
+    /// be fed to [`ChurnPipeline::replay`]; after one, recover with
+    /// [`ChurnPipeline::replay_from`] or the byte-stream
+    /// [`ChurnPipeline::recover`].
     pub fn journal(&self) -> &[FaultEvent] {
         &self.journal
     }
 
-    /// Every quarantined event, in offered order.
+    /// Sequence of the last event compacted out of the in-memory
+    /// journal (0 before any compaction).
+    pub fn journal_base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Sequence of the last accepted event (compacted prefix + tail).
+    pub fn accepted_seq(&self) -> u64 {
+        self.base_seq + self.journal.len() as u64
+    }
+
+    /// The retained quarantine log, in offered order — the most recent
+    /// [`ChurnConfig::max_quarantine_log`] entries
+    /// ([`ChurnHealth::quarantined_total`] counts every quarantine,
+    /// including dropped ones).
     pub fn quarantined(&self) -> &[QuarantinedEvent] {
         &self.quarantine
     }
@@ -516,48 +864,87 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
 
     /// Accepted events not yet folded into the published snapshot.
     pub fn pending_events(&self) -> u64 {
-        self.journal.len() as u64 - self.published_seq
+        self.accepted_seq() - self.published_seq
     }
 
     /// Offers one event to the pipeline. Valid events are journaled and
     /// folded into the pending fault state (returning their journal
     /// sequence number); invalid ones are quarantined with a reason and
-    /// change nothing. **Never panics**, whatever the event.
+    /// change nothing; events past the pending cap are shed with
+    /// [`IngestError::Backpressure`]. **Never panics**, whatever the
+    /// event.
     ///
     /// Ingestion does not rebuild; call [`ChurnPipeline::commit`] to
     /// publish the pending state (batching many events per commit is
     /// the intended usage under heavy churn).
-    pub fn ingest(&mut self, ev: FaultEvent) -> Result<u64, QuarantineReason> {
+    pub fn ingest(&mut self, ev: FaultEvent) -> Result<u64, IngestError> {
+        self.admit().map_err(IngestError::Backpressure)?;
+        self.ingest_validated(ev).map_err(IngestError::Quarantined)
+    }
+
+    /// [`ChurnPipeline::ingest`] from a raw wire frame
+    /// ([`FaultEvent::decode`]): undecodable bytes are quarantined with
+    /// a [`QuarantineReason::Wire`] reason, and the backpressure check
+    /// runs *before* the decode so a stalled pipeline does no per-frame
+    /// work. **Never panics**, whatever the bytes — the robustness
+    /// suite feeds this arbitrary garbage.
+    pub fn ingest_wire(&mut self, frame: &[u8]) -> Result<u64, IngestError> {
+        self.admit().map_err(IngestError::Backpressure)?;
+        match FaultEvent::decode(frame) {
+            Ok(ev) => self.ingest_validated(ev).map_err(IngestError::Quarantined),
+            Err(e) => {
+                let index = self.offered;
+                self.offered += 1;
+                let reason = QuarantineReason::Wire(e);
+                self.push_quarantined(QuarantinedEvent { index, event: None, reason });
+                Err(IngestError::Quarantined(reason))
+            }
+        }
+    }
+
+    /// The admission-control gate: sheds the offered event when the
+    /// pending-event cap is reached.
+    fn admit(&mut self) -> Result<(), Backpressure> {
+        let pending = self.pending_events();
+        if pending >= self.config.max_pending_events as u64 {
+            self.offered += 1;
+            self.shed += 1;
+            return Err(Backpressure { pending, cap: self.config.max_pending_events });
+        }
+        Ok(())
+    }
+
+    /// Validation + journal/quarantine, with admission control already
+    /// passed (recovery replay enters here: re-validating a journal must
+    /// never be shed by the live-traffic cap).
+    fn ingest_validated(&mut self, ev: FaultEvent) -> Result<u64, QuarantineReason> {
         let index = self.offered;
         self.offered += 1;
         match self.state.apply(ev) {
             Ok(()) => {
                 self.journal.push(ev);
-                Ok(self.journal.len() as u64)
+                Ok(self.accepted_seq())
             }
             Err(e) => {
                 let reason = QuarantineReason::Event(e);
-                self.quarantine.push(QuarantinedEvent { index, event: Some(ev), reason });
+                self.push_quarantined(QuarantinedEvent { index, event: Some(ev), reason });
                 Err(reason)
             }
         }
     }
 
-    /// [`ChurnPipeline::ingest`] from a raw wire frame
-    /// ([`FaultEvent::decode`]): undecodable bytes are quarantined with
-    /// a [`QuarantineReason::Wire`] reason. **Never panics**, whatever
-    /// the bytes — the robustness suite feeds this arbitrary garbage.
-    pub fn ingest_wire(&mut self, frame: &[u8]) -> Result<u64, QuarantineReason> {
-        match FaultEvent::decode(frame) {
-            Ok(ev) => self.ingest(ev),
-            Err(e) => {
-                let index = self.offered;
-                self.offered += 1;
-                let reason = QuarantineReason::Wire(e);
-                self.quarantine.push(QuarantinedEvent { index, event: None, reason });
-                Err(reason)
-            }
+    /// Appends to the bounded quarantine log, dropping the oldest entry
+    /// once [`ChurnConfig::max_quarantine_log`] is reached. The total
+    /// counter keeps every quarantine.
+    fn push_quarantined(&mut self, q: QuarantinedEvent) {
+        self.quarantined_total += 1;
+        if self.config.max_quarantine_log == 0 {
+            return;
         }
+        while self.quarantine.len() >= self.config.max_quarantine_log {
+            self.quarantine.remove(0);
+        }
+        self.quarantine.push(q);
     }
 
     /// Recompiles a snapshot folding every accepted event and publishes
@@ -581,7 +968,7 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
     /// good snapshot, [`ChurnPipeline::health`] reports the staleness,
     /// and the next `commit` starts a fresh cycle.
     pub fn commit(&mut self) -> Result<CommitReport, ChurnStalled> {
-        let target_seq = self.journal.len() as u64;
+        let target_seq = self.accepted_seq();
         if target_seq == self.published_seq && self.consecutive_failures == 0 {
             return Ok(CommitReport {
                 epoch: self.oracle.epoch(),
@@ -626,15 +1013,18 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
     /// How fresh the serving snapshot is and how the control plane has
     /// been behaving. Cheap; call it from monitoring loops.
     pub fn health(&self) -> ChurnHealth {
-        let accepted_seq = self.journal.len() as u64;
+        let accepted_seq = self.accepted_seq();
         ChurnHealth {
             published_epoch: self.oracle.epoch(),
             published_seq: self.published_seq,
             accepted_seq,
+            compacted_seq: self.base_seq,
+            journal_tail_len: self.journal.len(),
             pending_events: accepted_seq - self.published_seq,
+            shed_events: self.shed,
             degraded: self.consecutive_failures > 0,
             consecutive_failures: self.consecutive_failures,
-            quarantined_total: self.quarantine.len() as u64,
+            quarantined_total: self.quarantined_total,
             commits: self.commits,
             full_rebuilds: self.full_rebuilds,
             delta_commits: self.delta_commits,
@@ -683,8 +1073,9 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
         let fault = self.probe.as_mut().map_or(BuildFault::None, |p| p(&ctx));
 
         let faults: FaultSet = if full_rebuild {
-            // From scratch: trust nothing but the journal.
-            let mut st = FaultState::new(self.scheme.graph().m());
+            // From scratch: trust nothing but the journal — the
+            // compacted prefix's fold plus the in-memory tail.
+            let mut st = self.base_state.clone();
             for &ev in &self.journal {
                 st.apply(ev).map_err(BuildFailure::JournalCorrupt)?;
             }
@@ -744,7 +1135,7 @@ impl<C: PathCost + 'static> ChurnPipeline<C> {
     }
 }
 
-/// Errors from [`ChurnPipeline::replay`].
+/// Errors from [`ChurnPipeline::replay`] / [`ChurnPipeline::replay_from`].
 #[derive(Clone, Debug)]
 pub enum ReplayError {
     /// The initial snapshot build failed.
@@ -756,6 +1147,20 @@ pub enum ReplayError {
         seq: u64,
         /// Why it was rejected.
         reason: QuarantineReason,
+    },
+    /// The checkpoint was folded over a different graph: its edge count
+    /// disagrees with the scheme's.
+    CheckpointMismatch {
+        /// The checkpoint state's edge count.
+        checkpoint_m: usize,
+        /// The scheme graph's edge count.
+        graph_m: usize,
+    },
+    /// The checkpoint claims a non-empty fault state at sequence 0 — no
+    /// accepted-event journal can produce that.
+    CheckpointInconsistent {
+        /// The impossible fault count.
+        faults: usize,
     },
     /// The recovery commit stalled (the pipeline is returned to a
     /// serving state only on success, so this aborts recovery).
@@ -769,12 +1174,56 @@ impl std::fmt::Display for ReplayError {
             ReplayError::Rejected { seq, reason } => {
                 write!(f, "replay: journal event {seq} rejected: {reason}")
             }
+            ReplayError::CheckpointMismatch { checkpoint_m, graph_m } => {
+                write!(
+                    f,
+                    "replay: checkpoint folded over {checkpoint_m} edges, graph has {graph_m}"
+                )
+            }
+            ReplayError::CheckpointInconsistent { faults } => {
+                write!(f, "replay: checkpoint claims {faults} faults at sequence 0")
+            }
             ReplayError::Stalled(e) => write!(f, "replay: {e}"),
         }
     }
 }
 
 impl std::error::Error for ReplayError {}
+
+/// Errors from [`ChurnPipeline::recover`].
+#[derive(Clone, Debug)]
+pub enum RecoverError {
+    /// The byte stream has interior corruption (a fully-present frame
+    /// that fails its checksum or does not decode).
+    Decode(JournalDecodeError),
+    /// The decoded frames did not replay into a serving pipeline.
+    Replay(ReplayError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Decode(e) => write!(f, "recover: {e}"),
+            RecoverError::Replay(e) => write!(f, "recover: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// What [`ChurnPipeline::recover`] found in the byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Frames decoded cleanly (checkpoints + events).
+    pub frames: usize,
+    /// Events replayed after the effective checkpoint.
+    pub events: usize,
+    /// Sequence of the checkpoint recovery started from (0 = genesis).
+    pub checkpoint_seq: u64,
+    /// Byte offset of a torn final frame, when the stream was cut
+    /// mid-write (`None` for a clean tail).
+    pub torn_tail_at: Option<usize>,
+}
 
 /// The panic-isolated build-validate-cross-check step shared by
 /// incremental and full-rebuild attempts.

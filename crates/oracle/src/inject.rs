@@ -18,6 +18,15 @@
 //!   its output for the first N attempts, then heal — exercising retry,
 //!   backoff, cross-check rejection, delta fallback, and full-rebuild
 //!   escalation.
+//! * [`flip_random_bit`] / [`truncate_random`] — durability attackers
+//!   for serialized **journal streams** ([`ChurnPipeline::export_journal`]):
+//!   a seeded single-bit flip the CRC framing must catch, and a seeded
+//!   truncation the torn-tail recovery must absorb.
+//! * [`corrupt_published_row`] with [`CellCorruption`] — the
+//!   post-publication attacker: flips one cell (hop, parent, or cost)
+//!   of a row the oracle is *currently serving*, the damage only the
+//!   background scrubber ([`crate::scrub`]) can catch. Detection, not
+//!   luck, is what the scrub suite proves.
 //!
 //! [`verify_published`] closes the loop: whatever was injected, the
 //! snapshot actually serving must agree cell-for-cell with a fresh
@@ -47,12 +56,16 @@
 //! verify_published(&pipeline).unwrap();
 //! ```
 
+use std::sync::Arc;
+
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rsp_arith::PathCost;
 use rsp_core::Rpts;
 use rsp_graph::{FaultEvent, FaultState, Graph, SearchScratch, Vertex};
 
 use super::{BuildFault, BuildProbe, ChurnPipeline};
+use crate::serve::Oracle;
+use crate::snapshot::NONE;
 
 /// Generates a *valid* random churn trace of `len` events: every event
 /// passes validation when the trace is applied in order from a
@@ -366,4 +379,75 @@ pub fn verify_converged<C: PathCost + 'static>(pipeline: &ChurnPipeline<C>) -> R
     }
     verify_published(pipeline)
         .map_err(|(s, v)| format!("published snapshot wrong at source {s}, vertex {v}"))
+}
+
+/// Flips one seeded-random bit of `bytes` in place, returning the byte
+/// offset touched (`None` on an empty stream). The single-event wire
+/// codec has no checksum — this is the corruption the journal frame
+/// layer's CRC32 ([`rsp_graph::journal`]) exists to catch, and the
+/// recovery proptests drive it across every offset.
+pub fn flip_random_bit(bytes: &mut [u8], seed: u64) -> Option<usize> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let at = rng.random_range(0..bytes.len());
+    bytes[at] ^= 1 << rng.random_range(0u32..8);
+    Some(at)
+}
+
+/// Truncates `bytes` to a seeded-random proper prefix (possibly empty),
+/// returning the new length — the "power failed mid-append" journal
+/// tail that [`super::ChurnPipeline::recover`] must treat as a clean
+/// recovery point ([`rsp_graph::journal::JournalTail::Torn`]), never an
+/// error and never a panic.
+pub fn truncate_random(bytes: &mut Vec<u8>, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keep = if bytes.is_empty() { 0 } else { rng.random_range(0..bytes.len()) };
+    bytes.truncate(keep);
+    keep
+}
+
+/// Which cell of a published tree row [`corrupt_published_row`] flips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellCorruption {
+    /// Bump a reachable non-source vertex's hop count by one.
+    Hop,
+    /// Erase a reachable non-source vertex's parent pointer.
+    Parent,
+    /// Zero a reachable non-source vertex's exact path cost.
+    Cost,
+}
+
+/// Corrupts one cell of source `s`'s tree row in the snapshot `oracle`
+/// is **currently serving** — clone, flip, republish — and returns the
+/// vertex whose cell was damaged (`None` if `s` has no row or no
+/// corruptible cell).
+///
+/// This models damage that strikes *after* every commit-time gate has
+/// passed (a stray write, bad RAM): readers consume the wrong cell from
+/// the fast path until the scrubber's audit catches it. The scrub suite
+/// uses this probe to prove detection and repair, not luck, is what
+/// keeps served answers correct.
+pub fn corrupt_published_row<C: PathCost + 'static>(
+    oracle: &Oracle<C>,
+    s: Vertex,
+    kind: CellCorruption,
+) -> Option<Vertex> {
+    let snap = oracle.snapshot();
+    let row_idx = snap.row_of(s)?;
+    let n = snap.graph().n();
+    let mut corrupted = (*snap).clone();
+    let row = Arc::make_mut(corrupted.row_arc_mut(row_idx));
+    let victim = (0..n).find(|&v| v != s && row.hops[v] != NONE)?;
+    match kind {
+        CellCorruption::Hop => row.hops[victim] += 1,
+        CellCorruption::Parent => {
+            row.parent_vertex[victim] = NONE;
+            row.parent_edge[victim] = NONE;
+        }
+        CellCorruption::Cost => row.costs[victim].set_zero(),
+    }
+    oracle.publish(corrupted);
+    Some(victim)
 }

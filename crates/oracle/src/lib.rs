@@ -49,10 +49,24 @@
 //! ([`churn::inject`]) drives drops, duplicates, reorders, corruptions,
 //! and builder panics deterministically in the robustness suite.
 //!
-//! See the "Serving layer" and "Churn pipeline & degraded modes"
-//! chapters of `docs/ARCHITECTURE.md` for the control/data-plane
-//! diagram, the snapshot lifecycle (build → publish → retire), the
-//! event-ingestion state machine, and guidance on `Oracle` vs the raw
+//! Long-lived deployments get *durability and self-audit* on top:
+//! journal streams serialize through the CRC-framed codec in
+//! [`rsp_graph::journal`], [`churn::ChurnPipeline::checkpoint`] /
+//! [`churn::ChurnPipeline::compact`] bound journal memory,
+//! [`churn::ChurnPipeline::recover`] restarts from bytes (tolerating a
+//! torn tail, refusing interior corruption with a typed error), and the
+//! background [`scrub::Scrubber`] continuously re-verifies published
+//! rows cell-by-cell against the exact engine — quarantining corrupt
+//! rows (served correctly through the engine fallback) and healing them
+//! through a targeted-repair → full-rebuild ladder
+//! ([`scrub::ScrubHealth`]).
+//!
+//! See the "Serving layer", "Churn pipeline & degraded modes", and
+//! "Durability, compaction & scrubbing" chapters of
+//! `docs/ARCHITECTURE.md` for the control/data-plane diagram, the
+//! snapshot lifecycle (build → publish → retire), the event-ingestion
+//! state machine, the journal frame format and checkpoint lifecycle,
+//! the quarantine/repair ladder, and guidance on `Oracle` vs the raw
 //! engines.
 //!
 //! ## Paper cross-reference
@@ -69,6 +83,7 @@
 
 pub mod churn;
 pub mod delta;
+pub mod scrub;
 mod serve;
 mod snapshot;
 

@@ -345,6 +345,22 @@ mod tests {
     use rsp_core::RandomGridAtw;
     use rsp_graph::generators;
 
+    /// Poisons the publication slot: a scoped thread takes the guard —
+    /// through the same un-poisoning [`Shared::lock_slot`] path every
+    /// production caller uses, so the helper works even on an
+    /// *already-poisoned* slot — and panics while holding it.
+    fn poison_slot<C: PathCost + Send + Sync + 'static>(oracle: &Oracle<C>) {
+        let shared = Arc::clone(&oracle.shared);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                let _guard = shared.lock_slot();
+                panic!("deliberate publisher panic while holding the slot");
+            });
+            assert!(handle.join().is_err(), "the poisoning thread must panic");
+        });
+        assert!(oracle.shared.slot.is_poisoned(), "postcondition: slot is poisoned");
+    }
+
     /// The un-poisoning regression from the churn-hardening issue: a
     /// thread that panics while holding the publication slot must not
     /// brick publishing or reader refresh. Before the fix, every
@@ -361,15 +377,7 @@ mod tests {
         // Poison the slot: panic on a scoped thread while holding the
         // guard. (This is exactly what a panicking publisher mid-critical-
         // section does to the mutex.)
-        let shared = Arc::clone(&oracle.shared);
-        std::thread::scope(|scope| {
-            let handle = scope.spawn(move || {
-                let _guard = shared.slot.lock().unwrap();
-                panic!("deliberate publisher panic while holding the slot");
-            });
-            assert!(handle.join().is_err(), "the poisoning thread must panic");
-        });
-        assert!(oracle.shared.slot.is_poisoned(), "precondition: slot is poisoned");
+        poison_slot(&oracle);
 
         // A publish after the panic must succeed, not unwind...
         let rebuilt = RandomGridAtw::theorem20(&g, 43).into_scheme();
@@ -382,5 +390,34 @@ mod tests {
         assert_eq!(reader.query(0, &FaultSet::empty()).dist(15), Some(6));
         // Control-plane inspection works too.
         assert_eq!(oracle.snapshot().version(), 7);
+    }
+
+    /// Mirror of the publish-after-panic regression for *repeated*
+    /// poisoning: a second publisher panic on the already-recovered
+    /// slot must not brick anything either — recovery is a property of
+    /// every acquisition, not a one-shot cleanup. Before the last
+    /// `lock().unwrap()` call site was routed through
+    /// [`Shared::lock_slot`], the setup itself (taking the guard on a
+    /// poisoned slot to poison it again) would unwind early.
+    #[test]
+    fn repeated_poisoning_never_bricks_the_slot() {
+        let g = generators::grid(4, 4);
+        let scheme = RandomGridAtw::theorem20(&g, 42).into_scheme();
+        let oracle = Oracle::build(&scheme);
+        let mut reader = oracle.reader();
+
+        for round in 0..3u64 {
+            poison_slot(&oracle);
+            // Each round: publish through the poison, readers refresh
+            // and keep answering correctly.
+            let rebuilt = RandomGridAtw::theorem20(&g, 43 + round).into_scheme();
+            let before = oracle.epoch();
+            let epoch =
+                oracle.publish(OracleSnapshot::builder(&rebuilt).version(10 + round).build());
+            assert_eq!(epoch, before + 1);
+            assert!(reader.refresh());
+            assert_eq!(reader.snapshot().version(), 10 + round);
+            assert_eq!(reader.query(0, &FaultSet::empty()).dist(15), Some(6));
+        }
     }
 }

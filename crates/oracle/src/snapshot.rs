@@ -209,6 +209,13 @@ pub struct OracleSnapshot<C> {
     /// order. Rows are `Arc`'d so delta-derived snapshots share the
     /// storage of untouched rows (copy-on-write — see [`TreeRow`]).
     rows: Vec<Arc<TreeRow<C>>>,
+    /// `quarantined[i]` marks row `i` as failed integrity audit: the
+    /// scrubber ([`crate::scrub`]) found its flat arrays disagreeing
+    /// with the exact engine. Quarantined rows are never served from
+    /// the fast path — [`OracleSnapshot::try_query`] answers them
+    /// through the engine fallback, which recomputes from the graph and
+    /// therefore cannot repeat the corruption.
+    quarantined: Vec<bool>,
     labels: Option<DistanceLabeling>,
     preserver: Option<Preserver>,
 }
@@ -393,6 +400,7 @@ impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
         let labels = self.label_faults.map(|f| build_labeling(&scheme, f));
         let preserver = self.preserver_faults.map(|f| ft_sv_preserver(&scheme, &sources, f));
 
+        let quarantined = vec![false; sources.len()];
         Ok(OracleSnapshot {
             scheme,
             version: self.version,
@@ -400,6 +408,7 @@ impl<'a, C: PathCost + 'static> SnapshotBuilder<'a, C> {
             sources,
             source_row,
             rows,
+            quarantined,
             labels,
             preserver,
         })
@@ -475,9 +484,53 @@ impl<C: PathCost + 'static> OracleSnapshot<C> {
         self.preserver.as_ref()
     }
 
-    fn row_of(&self, s: Vertex) -> Option<usize> {
+    pub(crate) fn row_of(&self, s: Vertex) -> Option<usize> {
         let row = *self.source_row.get(s)?;
         (row != NONE).then_some(row as usize)
+    }
+
+    /// `true` iff `s`'s tree row is quarantined: the integrity scrubber
+    /// ([`crate::scrub`]) caught its flat arrays disagreeing with the
+    /// exact engine and fenced it off. Quarantined rows still answer
+    /// *correctly* — [`OracleSnapshot::try_query`] routes them through
+    /// the engine fallback — they just lose the zero-traversal fast
+    /// path until repaired. Always `false` for non-serving sources.
+    pub fn is_quarantined(&self, s: Vertex) -> bool {
+        self.row_of(s).is_some_and(|row| self.quarantined[row])
+    }
+
+    /// How many tree rows are currently quarantined (see
+    /// [`OracleSnapshot::is_quarantined`]). Zero for freshly built
+    /// snapshots; nonzero only while the scrubber has detected
+    /// corruption it has not yet healed.
+    pub fn quarantined_rows(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
+    /// Marks / unmarks `s`'s row as quarantined (scrubber seam).
+    /// Returns `false` if `s` has no row.
+    pub(crate) fn set_row_quarantined(&mut self, s: Vertex, quarantined: bool) -> bool {
+        match self.row_of(s) {
+            Some(row) => {
+                self.quarantined[row] = quarantined;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces `s`'s tree row with a freshly recomputed one and lifts
+    /// its quarantine (scrubber repair seam). Returns `false` if `s`
+    /// has no row.
+    pub(crate) fn replace_row(&mut self, s: Vertex, row: TreeRow<C>) -> bool {
+        match self.row_of(s) {
+            Some(i) => {
+                self.rows[i] = Arc::new(row);
+                self.quarantined[i] = false;
+                true
+            }
+            None => false,
+        }
     }
 
     /// `true` iff some fault edge lies on `row`'s canonical tree (the
@@ -554,8 +607,9 @@ impl<C: PathCost + 'static> OracleSnapshot<C> {
     /// `s` in `G \ (base_faults ∪ F)`, as a borrowed [`TreeView`].
     ///
     /// **Fast path** (no traversal, no allocation): if `s` is a serving
-    /// source and no fault edge lies on its canonical tree, the
-    /// precomputed tree *is* the answer — removing non-tree edges
+    /// source, its row is not quarantined by the integrity scrubber
+    /// ([`OracleSnapshot::is_quarantined`]), and no fault edge lies on
+    /// its canonical tree, the precomputed tree *is* the answer — removing non-tree edges
     /// changes no selected shortest path (the unique minimum-cost paths
     /// survive and nothing cheaper appears). **Engine path** otherwise:
     /// an exact search in `G* \ (base ∪ F)` inside `scratch`,
@@ -637,7 +691,7 @@ impl<C: PathCost + 'static> OracleSnapshot<C> {
             return Err(QueryError::FaultOutOfRange { edge, m: g.m() });
         }
         if let Some(row) = self.row_of(s) {
-            if !self.faults_touch_row(row, faults) {
+            if !self.quarantined[row] && !self.faults_touch_row(row, faults) {
                 return Ok(TreeView { inner: ViewInner::Baseline { snap: self, row, source: s } });
             }
         }

@@ -1,0 +1,339 @@
+//! Scrubber integrity: post-publication corruption is detected by
+//! audit (not luck), quarantined rows serve correct answers through the
+//! engine fallback, and the repair ladder heals — targeted repair
+//! first, full-rebuild escalation second, degraded-but-correct serving
+//! as the terminal state.
+//!
+//! The contract under test (ISSUE 9, tentpole layer 2): a cell flipped
+//! in a *published* snapshot row — damage the commit-time cross-check
+//! can no longer see — is never served silently and never a panic.
+
+use proptest::prelude::*;
+use rsp_core::{RandomGridAtw, Rpts};
+use rsp_graph::{generators, FaultSet, Graph, SearchScratch};
+use rsp_oracle::churn::inject::{corrupt_published_row, verify_converged, CellCorruption};
+use rsp_oracle::churn::{ChurnConfig, ChurnPipeline};
+use rsp_oracle::delta::{DeltaBuilder, DeltaError, DeltaUnsupported};
+use rsp_oracle::scrub::{ScrubConfig, ScrubStage, Scrubber};
+use rsp_oracle::Oracle;
+
+type Scheme = rsp_core::ExactScheme<u128>;
+
+fn scheme_for(g: &Graph, wseed: u64) -> Scheme {
+    RandomGridAtw::theorem20(g, wseed).into_scheme()
+}
+
+/// A scrub budget that audits the whole snapshot in one tick.
+fn full_sweep(n: usize) -> ScrubConfig {
+    ScrubConfig { rows_per_tick: n }
+}
+
+/// Asserts the oracle's published snapshot answers source `s`
+/// identically to a fresh engine run (every vertex: dist, parent,
+/// cost), whatever path the query takes.
+fn assert_source_correct(oracle: &Oracle<u128>, scheme: &Scheme, s: usize) {
+    let g = scheme.graph();
+    let mut reader = oracle.reader();
+    let mut scratch = SearchScratch::with_capacity(g.n());
+    let snap = oracle.snapshot();
+    scheme.spt_into(s, snap.base_faults(), &mut scratch);
+    let view = reader.query(s, &FaultSet::empty());
+    for v in g.vertices() {
+        assert_eq!(view.dist(v), scratch.hops(v), "dist({s}, {v})");
+        assert_eq!(view.parent(v), scratch.parent(v), "parent({s}, {v})");
+        assert_eq!(view.cost(v), scratch.cost(v), "cost({s}, {v})");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Detection and the happy-path heal
+// ---------------------------------------------------------------------
+
+/// Every corruption kind — hop, parent, cost — is detected by a full
+/// audit sweep, quarantined, and healed by targeted repair; afterwards
+/// the snapshot is clean and the answers are engine-identical.
+#[test]
+fn every_corruption_kind_is_detected_and_healed() {
+    for kind in [CellCorruption::Hop, CellCorruption::Parent, CellCorruption::Cost] {
+        let g = generators::grid(4, 4);
+        let scheme = scheme_for(&g, 42);
+        let oracle = Oracle::build(&scheme);
+        let epoch_before = oracle.epoch();
+
+        let victim = corrupt_published_row(&oracle, 5, kind)
+            .unwrap_or_else(|| panic!("{kind:?}: no corruptible cell"));
+        assert!(victim < g.n());
+
+        let mut scrubber = Scrubber::new(oracle.clone(), full_sweep(g.n()));
+        let tick = scrubber.tick();
+        assert_eq!(tick.rows_audited, g.n(), "{kind:?}");
+        assert_eq!(tick.corrupt_rows, 1, "{kind:?}: the damaged row is found");
+        assert_eq!(tick.healed_rows, 1, "{kind:?}: targeted repair heals it");
+        assert!(!tick.escalated, "{kind:?}: no rebuild needed");
+        assert!(tick.completed_pass, "{kind:?}");
+
+        let health = scrubber.health();
+        assert_eq!(health.corruptions_found, 1, "{kind:?}");
+        assert_eq!(health.corruptions_healed, 1, "{kind:?}");
+        assert_eq!(health.quarantined_now, 0, "{kind:?}: quarantine lifted");
+        // Corruption publish + quarantine publish + heal publish.
+        assert_eq!(oracle.epoch(), epoch_before + 3, "{kind:?}");
+
+        assert_source_correct(&oracle, &scheme, 5);
+        // A second sweep confirms the heal stuck.
+        let tick = scrubber.tick();
+        assert_eq!(tick.corrupt_rows, 0, "{kind:?}: clean after heal");
+    }
+}
+
+/// Untouched rows keep their storage across quarantine and targeted
+/// repair — the heal is a patch, not a silent rebuild.
+#[test]
+fn targeted_repair_preserves_untouched_row_storage() {
+    let g = generators::grid(4, 4);
+    let scheme = scheme_for(&g, 42);
+    let oracle = Oracle::build(&scheme);
+    let before = oracle.snapshot();
+
+    corrupt_published_row(&oracle, 5, CellCorruption::Hop).unwrap();
+    let mut scrubber = Scrubber::new(oracle.clone(), full_sweep(g.n()));
+    let tick = scrubber.tick();
+    assert_eq!(tick.healed_rows, 1);
+
+    let after = oracle.snapshot();
+    for s in g.vertices() {
+        if s == 5 {
+            assert!(!after.shares_row_storage(&before, s), "the healed row is a fresh allocation");
+        } else {
+            assert!(
+                after.shares_row_storage(&before, s),
+                "row {s} untouched by the heal keeps its storage"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The quarantine fence and the repair ladder
+// ---------------------------------------------------------------------
+
+/// With every repair rung sabotaged, the quarantined snapshot stays
+/// published: the damaged source answers **correctly** through the
+/// engine fallback (slow path), every other source keeps its fast
+/// path, and nothing panics. Degraded, never wrong.
+#[test]
+fn failed_heal_serves_quarantined_rows_correctly_via_fallback() {
+    let g = generators::grid(4, 4);
+    let scheme = scheme_for(&g, 42);
+    let oracle = Oracle::build(&scheme);
+
+    corrupt_published_row(&oracle, 5, CellCorruption::Hop).unwrap();
+    let mut scrubber = Scrubber::new(oracle.clone(), full_sweep(g.n()));
+    scrubber.set_probe(Some(Box::new(|_stage| true))); // sabotage everything
+    let tick = scrubber.tick();
+    assert_eq!(tick.corrupt_rows, 1);
+    assert_eq!(tick.healed_rows, 0);
+    assert!(tick.escalated, "the ladder tried the rebuild rung");
+
+    let snap = oracle.snapshot();
+    assert!(snap.is_quarantined(5), "the damaged row is fenced");
+    assert_eq!(snap.quarantined_rows(), 1);
+    assert_eq!(scrubber.health().quarantined_now, 1);
+
+    // The quarantined source answers through the engine — correct.
+    let mut reader = oracle.reader();
+    let view = reader.query(5, &FaultSet::empty());
+    assert!(!view.from_baseline(), "quarantined rows never serve the flat arrays");
+    assert_source_correct(&oracle, &scheme, 5);
+    // Other sources keep the zero-traversal fast path.
+    let view = reader.query(0, &FaultSet::empty());
+    assert!(view.from_baseline());
+}
+
+/// Sabotaging only the targeted repair escalates to the full rebuild,
+/// which heals (and the escalation is counted).
+#[test]
+fn targeted_repair_failure_escalates_to_full_rebuild() {
+    let g = generators::grid(4, 4);
+    let scheme = scheme_for(&g, 42);
+    let oracle = Oracle::build(&scheme);
+
+    corrupt_published_row(&oracle, 3, CellCorruption::Parent).unwrap();
+    let mut scrubber = Scrubber::new(oracle.clone(), full_sweep(g.n()));
+    scrubber.set_probe(Some(Box::new(|stage| stage == ScrubStage::TargetedRepair)));
+    let tick = scrubber.tick();
+    assert_eq!(tick.corrupt_rows, 1);
+    assert!(tick.escalated);
+    assert_eq!(tick.healed_rows, 1, "the rebuild rung heals");
+
+    let health = scrubber.health();
+    assert_eq!(health.escalations, 1);
+    assert_eq!(health.quarantined_now, 0);
+    assert_source_correct(&oracle, &scheme, 3);
+}
+
+/// A heal that fails this tick is retried next tick — quarantined rows
+/// are audited first, ahead of the cursor's budget — and succeeds once
+/// the sabotage stops.
+#[test]
+fn failed_heal_is_retried_and_recovers_next_tick() {
+    let g = generators::grid(4, 4);
+    let scheme = scheme_for(&g, 42);
+    let oracle = Oracle::build(&scheme);
+
+    corrupt_published_row(&oracle, 9, CellCorruption::Cost).unwrap();
+    // Tiny budget: the cursor alone would take 8 ticks to reach row 9,
+    // but quarantine retries jump the queue.
+    let mut scrubber = Scrubber::new(oracle.clone(), ScrubConfig { rows_per_tick: 2 });
+    let mut sabotage_left = 2; // both rungs of tick N fail
+    scrubber.set_probe(Some(Box::new(move |_stage| {
+        if sabotage_left > 0 {
+            sabotage_left -= 1;
+            true
+        } else {
+            false
+        }
+    })));
+
+    // Tick until the corruption is first detected (cursor sweep).
+    let mut detected_tick = None;
+    for i in 0..8 {
+        let tick = scrubber.tick();
+        if tick.corrupt_rows > 0 {
+            detected_tick = Some((i, tick));
+            break;
+        }
+    }
+    let (_, tick) = detected_tick.expect("the sweep must reach the damaged row");
+    assert_eq!(tick.healed_rows, 0, "the sabotaged ladder fails this tick");
+    assert_eq!(oracle.snapshot().quarantined_rows(), 1);
+
+    // Next tick: the quarantined row is retried first and heals.
+    let tick = scrubber.tick();
+    assert_eq!(tick.corrupt_rows, 1, "the still-corrupt row is re-audited");
+    assert_eq!(tick.healed_rows, 1, "the un-sabotaged ladder heals");
+    assert_eq!(oracle.snapshot().quarantined_rows(), 0);
+    assert_source_correct(&oracle, &scheme, 9);
+}
+
+/// Pass accounting: a budget of 3 over 16 sources completes a sweep on
+/// the 6th tick, and audits every source at least once per pass.
+#[test]
+fn scrub_passes_cover_every_source() {
+    let g = generators::grid(4, 4);
+    let scheme = scheme_for(&g, 42);
+    let oracle = Oracle::build(&scheme);
+    let mut scrubber = Scrubber::new(oracle, ScrubConfig { rows_per_tick: 3 });
+    for i in 0..6 {
+        let tick = scrubber.tick();
+        assert_eq!(tick.completed_pass, i == 5, "tick {i}");
+    }
+    let health = scrubber.health();
+    assert_eq!(health.complete_passes, 1);
+    assert_eq!(health.rows_audited, 18);
+    assert_eq!(health.corruptions_found, 0);
+}
+
+// ---------------------------------------------------------------------
+// Interaction with the delta builder and the churn pipeline
+// ---------------------------------------------------------------------
+
+/// A delta patch refuses a quarantined predecessor — patching from
+/// known-corrupt rows would propagate the corruption — with a typed
+/// refusal the churn pipeline answers by full rebuild.
+#[test]
+fn delta_refuses_quarantined_predecessor() {
+    let g = generators::grid(4, 4);
+    let scheme = scheme_for(&g, 42);
+    let oracle = Oracle::build(&scheme);
+
+    corrupt_published_row(&oracle, 5, CellCorruption::Hop).unwrap();
+    let mut scrubber = Scrubber::new(oracle.clone(), full_sweep(g.n()));
+    scrubber.set_probe(Some(Box::new(|_| true))); // leave it quarantined
+    scrubber.tick();
+    let quarantined = oracle.snapshot();
+    assert_eq!(quarantined.quarantined_rows(), 1);
+
+    let err = DeltaBuilder::new(&quarantined).build(&FaultSet::single(0)).unwrap_err();
+    assert_eq!(
+        err,
+        DeltaError::Unsupported(DeltaUnsupported::QuarantinedRows { rows: 1 }),
+        "the refusal is typed and names the damage"
+    );
+}
+
+/// End-to-end with the churn pipeline: corruption strikes the published
+/// snapshot, the scrubber quarantines it (heal sabotaged), and the next
+/// churn commit falls back from delta to a full rebuild — which clears
+/// the quarantine and converges. The fallback reason is recorded.
+#[test]
+fn churn_commit_after_quarantine_rebuilds_and_clears() {
+    let g = generators::grid(4, 4);
+    let scheme = scheme_for(&g, 42);
+    let mut pipeline = ChurnPipeline::with_config(&scheme, ChurnConfig::default()).unwrap();
+    pipeline.ingest(rsp_graph::FaultEvent::Arrive(0)).unwrap();
+    pipeline.commit().unwrap();
+    assert!(pipeline.health().delta_commits >= 1 || pipeline.health().commits >= 1);
+
+    // Post-publication damage + a failed heal: quarantine stays up.
+    corrupt_published_row(pipeline.oracle(), 5, CellCorruption::Hop).unwrap();
+    let mut scrubber = Scrubber::new(pipeline.oracle().clone(), full_sweep(g.n()));
+    scrubber.set_probe(Some(Box::new(|_| true)));
+    scrubber.tick();
+    assert_eq!(pipeline.published_snapshot().quarantined_rows(), 1);
+
+    // The next commit cannot delta-patch the fenced snapshot: it falls
+    // back to the full rebuild, which recomputes every row and lifts
+    // the quarantine.
+    pipeline.ingest(rsp_graph::FaultEvent::Arrive(5)).unwrap();
+    pipeline.commit().unwrap();
+    let snap = pipeline.published_snapshot();
+    assert_eq!(snap.quarantined_rows(), 0, "the rebuild clears the fence");
+    let health = pipeline.health();
+    assert!(
+        health.last_delta_fallback.as_deref().is_some_and(|r| r.contains("quarantined")),
+        "the fallback reason names the quarantine: {:?}",
+        health.last_delta_fallback
+    );
+    verify_converged(&pipeline).unwrap();
+
+    // And a clean scrub pass confirms the rebuilt snapshot.
+    let mut scrubber = Scrubber::new(pipeline.oracle().clone(), full_sweep(g.n()));
+    let tick = scrubber.tick();
+    assert_eq!(tick.corrupt_rows, 0);
+}
+
+// ---------------------------------------------------------------------
+// Property test
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever cell is flipped, wherever, under whatever weights: one
+    /// full-budget tick detects and heals it, and the served answers
+    /// for the damaged source are engine-identical afterwards.
+    #[test]
+    fn any_flipped_cell_is_caught_and_healed(
+        wseed in any::<u64>(),
+        source in 0usize..9,
+        kind_ix in 0usize..3,
+    ) {
+        let kind = [CellCorruption::Hop, CellCorruption::Parent, CellCorruption::Cost][kind_ix];
+        let g = generators::grid(3, 3);
+        let scheme = scheme_for(&g, wseed);
+        let oracle = Oracle::build(&scheme);
+
+        let victim = corrupt_published_row(&oracle, source, kind);
+        prop_assert!(victim.is_some(), "a grid row always has a corruptible cell");
+
+        let mut scrubber = Scrubber::new(oracle.clone(), full_sweep(g.n()));
+        let tick = scrubber.tick();
+        prop_assert_eq!(tick.corrupt_rows, 1);
+        prop_assert_eq!(tick.healed_rows, 1);
+        prop_assert_eq!(oracle.snapshot().quarantined_rows(), 0);
+        assert_source_correct(&oracle, &scheme, source);
+        let tick = scrubber.tick();
+        prop_assert_eq!(tick.corrupt_rows, 0, "clean after the heal");
+    }
+}
