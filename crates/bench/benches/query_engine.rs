@@ -40,7 +40,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rsp_arith::PathCost;
 use rsp_core::{ExactScheme, GeometricAtw, RandomGridAtw, Rpts};
 use rsp_graph::{
-    bfs, bfs_into, dijkstra, dijkstra_into, generators, EdgeId, FaultSet, Graph, HeapKind,
+    bfs, bfs_into, dijkstra, dijkstra_into, gen, generators, EdgeId, FaultSet, Graph, HeapKind,
     SearchScratch, Vertex,
 };
 
@@ -263,6 +263,79 @@ fn bench_bigint_grid(c: &mut Criterion) {
     bench_scheme_engines(c, "query_engine/bigint_grid10x10", &scheme, 8);
 }
 
+/// The vertex count for the scaling group: `RSP_SCALING_N` if set (CI
+/// smoke pins `10_000`), else the BENCH_10 default of `100_000`. Go to
+/// `1_000_000` for the full scaling sweep — the group names embed `n`,
+/// so trajectory rows at different scales never collide.
+fn scaling_n() -> usize {
+    std::env::var("RSP_SCALING_N").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000)
+}
+
+/// The CSR scaling group: the query engine at `n = 10^5`–`10^6` on the
+/// three Internet-shaped families (`rsp_graph::gen`), u64 costs — the
+/// workload the flat `u32` CSR layout exists for. Per family: reused-
+/// scratch BFS plus both heap engines, two single-fault queries per
+/// iteration from source 0. Each family prints an `n`/`m`/CSR-footprint
+/// provenance line so recorded JSON rows can cite the memory story.
+fn bench_scaling(c: &mut Criterion) {
+    let n = scaling_n();
+    let cost = |e: EdgeId, from: Vertex, to: Vertex| {
+        1_000_000u64 + (e as u64 % 251) + u64::from(from < to)
+    };
+    let families: [(&str, Graph); 3] = [
+        ("pa", gen::preferential_attachment(n, 3, 42)),
+        ("ws", gen::watts_strogatz(n, 6, 0.05, 42)),
+        ("isp", gen::isp_hierarchy(n / 10, n - n / 10, 42)),
+    ];
+    for (family, g) in families {
+        println!(
+            "scaling/{family}: n={} m={} csr_bytes={} ({:.1} B/edge-slot)",
+            g.n(),
+            g.m(),
+            g.memory_bytes(),
+            g.memory_bytes() as f64 / (2 * g.m()) as f64,
+        );
+        let faults = fault_batch(&g, 2);
+        let mut group = c.benchmark_group(format!("query_engine/scaling_{family}_n{n}"));
+        let mut bfs_scratch = SearchScratch::<u32>::with_capacity(g.n());
+        group.bench_function("bfs_scratch", |b| {
+            b.iter(|| {
+                let mut reached = 0usize;
+                for f in &faults {
+                    bfs_into(&g, 0, f, &mut bfs_scratch);
+                    reached += bfs_scratch.reachable_count();
+                }
+                reached
+            })
+        });
+        let mut inline =
+            SearchScratch::<u64>::with_capacity(g.n()).with_heap_kind(HeapKind::InlineKey);
+        group.bench_function("inline_reuse", |b| {
+            b.iter(|| {
+                let mut reached = 0usize;
+                for f in &faults {
+                    dijkstra_into(&g, 0, f, cost, &mut inline);
+                    reached += inline.reachable_count();
+                }
+                reached
+            })
+        });
+        let mut indexed =
+            SearchScratch::<u64>::with_capacity(g.n()).with_heap_kind(HeapKind::Indexed);
+        group.bench_function("indexed_reuse", |b| {
+            b.iter(|| {
+                let mut reached = 0usize;
+                for f in &faults {
+                    dijkstra_into(&g, 0, f, cost, &mut indexed);
+                    reached += indexed.reachable_count();
+                }
+                reached
+            })
+        });
+        group.finish();
+    }
+}
+
 /// The unweighted layer: allocating BFS versus reused-scratch BFS.
 fn bench_bfs(c: &mut Criterion) {
     let g = generators::connected_gnm(400, 1600, 3);
@@ -295,6 +368,7 @@ fn bench_bfs(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_u64_grid, bench_u64_large, bench_u128_random, bench_bigint_grid, bench_bfs
+    targets = bench_u64_grid, bench_u64_large, bench_u128_random, bench_bigint_grid, bench_bfs,
+        bench_scaling
 }
 criterion_main!(benches);

@@ -122,7 +122,7 @@ impl<C: PathCost, T: EdgeCostSource<C>> EdgeCostSource<C> for ByRef<'_, T> {
 
 /// Records the baseline run's settle order and per-step progress.
 struct Recorder<'a> {
-    settle_order: &'a mut Vec<Vertex>,
+    settle_order: &'a mut Vec<u32>,
     /// `ties_prefix[j]`: cumulative tie flag after `j` settle steps.
     ties_prefix: &'a mut Vec<bool>,
     /// `reach_after[j]`: vertices discovered after `j` settle steps.
@@ -132,7 +132,7 @@ struct Recorder<'a> {
 impl SearchObserver for Recorder<'_> {
     #[inline]
     fn popped(&mut self, v: Vertex) {
-        self.settle_order.push(v);
+        self.settle_order.push(v as u32);
     }
 
     #[inline]
@@ -284,14 +284,15 @@ struct Checkpoint<C> {
     /// Settle steps completed when the snapshot was taken.
     depth: usize,
     /// `(vertex, tentative key, parent, hops)` per discovered-but-open
-    /// vertex, in discovery order.
-    open: Vec<(Vertex, C, (Vertex, EdgeId), u32)>,
+    /// vertex, in discovery order (stored-width `u32` ids, matching the
+    /// scratch arrays they snapshot).
+    open: Vec<(u32, C, (u32, u32), u32)>,
     /// Indexed-heap snapshot (vertex ids in heap order); unused under the
     /// inline-key engine.
-    heap: Vec<Vertex>,
+    heap: Vec<u32>,
     /// Inline-key heap snapshot, stale entries included; unused under the
     /// indexed engine.
-    lazy: Vec<(C, Vertex)>,
+    lazy: Vec<(C, u32)>,
 }
 
 /// Reusable state for one source's multi-fault query batch.
@@ -308,8 +309,9 @@ pub struct BatchScratch<C = u32> {
     baseline: SearchScratch<C>,
     /// Target scratch for resumed (faulted) queries.
     resume: SearchScratch<C>,
-    /// Baseline settle order (BFS: dequeue order; Dijkstra: pop order).
-    settle_order: Vec<Vertex>,
+    /// Baseline settle order (BFS: dequeue order; Dijkstra: pop order),
+    /// stored-width ids.
+    settle_order: Vec<u32>,
     /// Cumulative tie flag after each settle step; `ties_prefix[0] = false`.
     ties_prefix: Vec<bool>,
     /// Discovered-vertex count after each settle step; `reach_after[0] = 1`.
@@ -464,8 +466,11 @@ impl<C: PathCost> BatchScratch<C> {
             open: base
                 .touched
                 .iter()
-                .filter(|&&v| base.heap_pos[v] != SETTLED)
-                .map(|&v| (v, base.key[v].clone(), base.parent[v], base.hops[v]))
+                .filter(|&&v| base.heap_pos[v as usize] != SETTLED)
+                .map(|&v| {
+                    let vi = v as usize;
+                    (v, base.key[vi].clone(), base.parent[vi], base.hops[vi])
+                })
                 .collect(),
             heap: base.heap.clone(),
             // Live entries only (the one whose cost matches the current
@@ -475,7 +480,7 @@ impl<C: PathCost> BatchScratch<C> {
             lazy: base
                 .lazy
                 .iter()
-                .filter(|Reverse((c, v))| c == &base.key[*v])
+                .filter(|Reverse((c, v))| c == &base.key[*v as usize])
                 .map(|Reverse(entry)| entry.clone())
                 .collect(),
         });
@@ -487,7 +492,7 @@ impl<C: PathCost> BatchScratch<C> {
         self.first_examined.clear();
         self.first_examined.resize(g.m(), u32::MAX);
         for (step, &u) in self.settle_order.iter().enumerate() {
-            for (_, e) in g.neighbors(u) {
+            for (_, e) in g.neighbors(u as usize) {
                 if self.first_examined[e] == u32::MAX {
                     self.first_examined[e] = step as u32;
                 }
@@ -519,9 +524,10 @@ impl<C: PathCost> BatchScratch<C> {
         out.begin(g.n(), base.source, false);
         let epoch = out.epoch;
         for &v in &base.touched[..reach] {
-            out.stamp[v] = epoch;
-            out.hops[v] = base.hops[v];
-            out.parent[v] = base.parent[v];
+            let vi = v as usize;
+            out.stamp[vi] = epoch;
+            out.hops[vi] = base.hops[vi];
+            out.parent[vi] = base.parent[vi];
             out.touched.push(v);
         }
         // BFS settles in discovery order, so after k dequeues the frontier
@@ -578,11 +584,12 @@ impl<C: PathCost> BatchScratch<C> {
         out.ties = self.ties_prefix[k];
         let epoch = out.epoch;
         for &v in &self.settle_order[..k] {
-            out.stamp[v] = epoch;
-            out.key[v].clone_from(&base.key[v]);
-            out.hops[v] = base.hops[v];
-            out.parent[v] = base.parent[v];
-            out.heap_pos[v] = SETTLED;
+            let vi = v as usize;
+            out.stamp[vi] = epoch;
+            out.key[vi].clone_from(&base.key[vi]);
+            out.hops[vi] = base.hops[vi];
+            out.parent[vi] = base.parent[vi];
+            out.heap_pos[vi] = SETTLED;
             out.touched.push(v);
         }
         // Seed the open frontier from the deepest usable checkpoint: its
@@ -598,24 +605,26 @@ impl<C: PathCost> BatchScratch<C> {
             let cp = &self.checkpoints[ci];
             replay_from = cp.depth;
             for &(v, ref key, parent, hops) in &cp.open {
-                if out.stamp[v] == epoch {
+                let vi = v as usize;
+                if out.stamp[vi] == epoch {
                     continue;
                 }
-                out.stamp[v] = epoch;
-                out.key[v].clone_from(key);
-                out.parent[v] = parent;
-                out.hops[v] = hops;
-                out.heap_pos[v] = OPEN;
+                out.stamp[vi] = epoch;
+                out.key[vi].clone_from(key);
+                out.parent[vi] = parent;
+                out.hops[vi] = hops;
+                out.heap_pos[vi] = OPEN;
                 out.touched.push(v);
             }
             match out.active {
                 HeapKind::Indexed => {
                     for &v in &cp.heap {
-                        if out.heap_pos[v] != OPEN {
+                        let vi = v as usize;
+                        if out.heap_pos[vi] != OPEN {
                             continue;
                         }
                         let end = out.heap.len();
-                        out.heap_pos[v] = end as u32;
+                        out.heap_pos[vi] = end as u32;
                         out.heap.push(v);
                         sift_up(&mut out.heap, &mut out.heap_pos, &out.key, end);
                     }
@@ -625,7 +634,8 @@ impl<C: PathCost> BatchScratch<C> {
                         cp.lazy
                             .iter()
                             .filter(|entry| {
-                                out.stamp[entry.1] == epoch && out.heap_pos[entry.1] != SETTLED
+                                let vi = entry.1 as usize;
+                                out.stamp[vi] == epoch && out.heap_pos[vi] != SETTLED
                             })
                             .map(|entry| Reverse(entry.clone())),
                     );
@@ -656,6 +666,7 @@ impl<C: PathCost> BatchScratch<C> {
         } = out;
         let mut replayed = 0usize;
         for &u in &self.settle_order[replay_from..k] {
+            let u = u as usize;
             for (v, e) in g.neighbors(u) {
                 if stamp[v] == epoch && heap_pos[v] == SETTLED {
                     continue;

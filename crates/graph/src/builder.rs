@@ -4,7 +4,7 @@ use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
-use crate::graph::{Graph, Vertex};
+use crate::graph::{Graph, Vertex, MAX_EDGES, MAX_VERTICES};
 
 /// Error raised when constructing an invalid graph.
 ///
@@ -18,6 +18,10 @@ use crate::graph::{Graph, Vertex};
 /// assert!(matches!(
 ///     Graph::from_edges(2, [(0, 1), (1, 0)]),
 ///     Err(GraphError::DuplicateEdge { .. })
+/// ));
+/// assert!(matches!(
+///     Graph::from_edges(usize::MAX, []),
+///     Err(GraphError::TooManyVertices { .. })
 /// ));
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,6 +45,23 @@ pub enum GraphError {
         /// Canonical endpoints of the duplicated edge.
         v: Vertex,
     },
+    /// The requested vertex count exceeds [`MAX_VERTICES`].
+    ///
+    /// Vertex ids are stored as `u32` with `u32::MAX` reserved as the
+    /// engine-wide sentinel, so construction rejects oversized graphs
+    /// instead of silently truncating ids.
+    TooManyVertices {
+        /// The requested vertex count.
+        n: usize,
+    },
+    /// Adding the edge would exceed [`MAX_EDGES`].
+    ///
+    /// Edge ids and CSR offsets are stored as `u32` (each edge occupies two
+    /// adjacency slots), so the edge count is capped rather than truncated.
+    TooManyEdges {
+        /// The edge count the graph already holds.
+        m: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -51,6 +72,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::TooManyVertices { n } => {
+                write!(f, "vertex count {n} exceeds the u32-id limit of {MAX_VERTICES}")
+            }
+            GraphError::TooManyEdges { m } => {
+                write!(f, "edge count {m} has reached the u32-id limit of {MAX_EDGES}")
+            }
         }
     }
 }
@@ -60,6 +87,10 @@ impl Error for GraphError {}
 /// Incremental builder for [`Graph`].
 ///
 /// Validates each edge as it is added; [`GraphBuilder::build`] is infallible.
+/// Edges are stored in `u32` form up front, so building never re-validates
+/// or converts. The builder itself allocates proportionally to the *edges*
+/// added, not to `n`, which is why [`GraphBuilder::try_new`] accepts any
+/// `n <= MAX_VERTICES` without reserving memory.
 ///
 /// # Examples
 ///
@@ -76,14 +107,36 @@ impl Error for GraphError {}
 #[derive(Clone, Debug)]
 pub struct GraphBuilder {
     n: usize,
-    edges: Vec<(Vertex, Vertex)>,
-    seen: HashSet<(Vertex, Vertex)>,
+    edges: Vec<(u32, u32)>,
+    seen: HashSet<(u32, u32)>,
 }
 
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices with no edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooManyVertices`] if `n` exceeds
+    /// [`MAX_VERTICES`], the largest vertex count representable with
+    /// `u32` ids once the `u32::MAX` sentinel is reserved.
+    pub fn try_new(n: usize) -> Result<Self, GraphError> {
+        if n > MAX_VERTICES {
+            return Err(GraphError::TooManyVertices { n });
+        }
+        Ok(GraphBuilder { n, edges: Vec::new(), seen: HashSet::new() })
+    }
+
+    /// Creates a builder for a graph on `n` vertices with no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_VERTICES`]; use
+    /// [`GraphBuilder::try_new`] to get a typed error instead.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), seen: HashSet::new() }
+        match Self::try_new(n) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of vertices of the graph under construction.
@@ -100,8 +153,8 @@ impl GraphBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`GraphError`] on out-of-range endpoints, self-loops, or
-    /// duplicates.
+    /// Returns [`GraphError`] on out-of-range endpoints, self-loops,
+    /// duplicates, or when the edge count has reached [`MAX_EDGES`].
     pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
         if u >= self.n {
             return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
@@ -112,10 +165,16 @@ impl GraphBuilder {
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
         }
+        // In range (`< n <= MAX_VERTICES < u32::MAX`), so the casts are exact.
+        let (u, v) = (u as u32, v as u32);
         let key = if u < v { (u, v) } else { (v, u) };
-        if !self.seen.insert(key) {
-            return Err(GraphError::DuplicateEdge { u: key.0, v: key.1 });
+        if self.seen.contains(&key) {
+            return Err(GraphError::DuplicateEdge { u: key.0 as usize, v: key.1 as usize });
         }
+        if self.edges.len() >= MAX_EDGES {
+            return Err(GraphError::TooManyEdges { m: self.edges.len() });
+        }
+        self.seen.insert(key);
         self.edges.push(key);
         Ok(())
     }
@@ -126,7 +185,8 @@ impl GraphBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`GraphError`] on out-of-range endpoints or self-loops.
+    /// Returns [`GraphError`] on out-of-range endpoints, self-loops, or a
+    /// full edge table.
     pub fn add_edge_dedup(&mut self, u: Vertex, v: Vertex) -> Result<bool, GraphError> {
         match self.add_edge(u, v) {
             Ok(()) => Ok(true),
@@ -137,6 +197,10 @@ impl GraphBuilder {
 
     /// Returns `true` iff the edge is already present.
     pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        if u >= self.n || v >= self.n {
+            return false;
+        }
+        let (u, v) = (u as u32, v as u32);
         let key = if u < v { (u, v) } else { (v, u) };
         self.seen.contains(&key)
     }
@@ -173,6 +237,22 @@ mod tests {
     }
 
     #[test]
+    fn rejects_too_many_vertices() {
+        // Builders hold no per-vertex state, so probing the limit is free.
+        assert!(matches!(
+            GraphBuilder::try_new(MAX_VERTICES + 1),
+            Err(GraphError::TooManyVertices { n }) if n == MAX_VERTICES + 1
+        ));
+        assert!(GraphBuilder::try_new(MAX_VERTICES).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32-id limit")]
+    fn new_panics_past_limit() {
+        let _ = GraphBuilder::new(MAX_VERTICES + 1);
+    }
+
+    #[test]
     fn dedup_add() {
         let mut b = GraphBuilder::new(3);
         assert!(b.add_edge_dedup(0, 1).unwrap());
@@ -191,8 +271,18 @@ mod tests {
     }
 
     #[test]
+    fn has_edge_out_of_range_is_false() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        assert!(b.has_edge(1, 0));
+        assert!(!b.has_edge(0, 99));
+    }
+
+    #[test]
     fn error_messages_are_lowercase_and_informative() {
         let e = GraphError::DuplicateEdge { u: 1, v: 2 };
         assert_eq!(e.to_string(), "duplicate edge (1, 2)");
+        let e = GraphError::TooManyVertices { n: usize::MAX };
+        assert!(e.to_string().contains("u32-id limit"));
     }
 }

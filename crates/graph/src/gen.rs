@@ -1,0 +1,244 @@
+//! Internet-shaped graph generators: scale-free, small-world, and
+//! hierarchical ISP topologies.
+//!
+//! The structured families in [`crate::generators`] (grids, cycles,
+//! hypercubes) stress tiebreaking with *symmetry*; the random families
+//! there (`G(n,p)`, `G(n,m)`) stress it with *volume*. Neither looks like
+//! the networks the paper's MPLS deployment story runs on. This module
+//! adds the three standard "Internet-shaped" models the scaling benches
+//! and the CSR differential suite exercise:
+//!
+//! * [`preferential_attachment`] — Barabási–Albert scale-free growth:
+//!   heavy-tailed degrees, a few hub routers touching a large fraction of
+//!   all edges (the worst case for source-incident faults);
+//! * [`watts_strogatz`] — a ring lattice with random rewiring: high
+//!   clustering plus a few long-range shortcuts, the small-world regime
+//!   where shortest paths funnel through rewired edges;
+//! * [`isp_hierarchy`] — a two-level core/edge topology: a dense,
+//!   well-connected core of backbone routers with dual-homed access
+//!   routers hanging off it — the shape of a real ISP, where faults on
+//!   access links are local and faults in the core reroute traffic at
+//!   scale.
+//!
+//! All three are seeded and deterministic (same arguments ⇒ the same
+//! [`Graph`], byte for byte), with exact edge-count accounting so scaling
+//! experiments can state `m` up front.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsp_graph::gen;
+//!
+//! let g = gen::preferential_attachment(200, 3, 42);
+//! assert_eq!(g.n(), 200);
+//! assert_eq!(g.m(), (200 - 3) * 3); // exact: star seed + 3 per arrival
+//!
+//! let ws = gen::watts_strogatz(100, 4, 0.1, 42);
+//! assert_eq!(ws.m(), 100 * 4 / 2); // rewiring preserves the edge count
+//!
+//! let isp = gen::isp_hierarchy(20, 80, 42);
+//! assert_eq!(isp.n(), 100);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::generators::connected_gnm;
+use crate::graph::Graph;
+
+/// Barabási–Albert preferential attachment: a scale-free graph on `n`
+/// vertices where each arriving vertex attaches to `m_per` existing
+/// vertices chosen proportionally to their current degree.
+///
+/// The seed graph is the star `K_{1,m_per}` on vertices `0..=m_per`
+/// (center `0`), so the result is connected by construction and the edge
+/// count is exactly `(n − m_per) · m_per`. Degree-proportional sampling
+/// uses the endpoint-list trick: every edge contributes both endpoints to
+/// a flat list, and a uniform draw from that list is a draw proportional
+/// to degree. Arrivals attach to `m_per` *distinct* targets (duplicate
+/// draws are rejected and retried).
+///
+/// The degree distribution follows a power law: expect a few hubs whose
+/// degree is orders of magnitude above the mean, which is what makes this
+/// family the adversarial workload for source-incident faults and for
+/// per-row delta patches in the serving layer.
+///
+/// # Panics
+///
+/// Panics if `m_per == 0` or `n <= m_per`.
+pub fn preferential_attachment(n: usize, m_per: usize, seed: u64) -> Graph {
+    assert!(m_per > 0, "each arrival must attach at least one edge");
+    assert!(n > m_per, "need more vertices than attachments per arrival");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Endpoint list: vertex v appears deg(v) times.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * (n - m_per) * m_per);
+    for v in 1..=m_per {
+        b.add_edge(0, v).expect("valid star seed edge");
+        endpoints.push(0);
+        endpoints.push(v);
+    }
+    let mut targets: Vec<usize> = Vec::with_capacity(m_per);
+    for v in (m_per + 1)..n {
+        targets.clear();
+        while targets.len() < m_per {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v, t).expect("valid attachment edge");
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice on `n` vertices where
+/// each vertex connects to its `k/2` nearest neighbors on each side, with
+/// each lattice edge independently *rewired* with probability `p`.
+///
+/// Rewiring keeps the near endpoint and re-targets the far one to a
+/// uniform random vertex (no self-loops, no duplicate edges; a rewire
+/// that cannot find a free target after a bounded number of draws keeps
+/// the original edge). The edge count is therefore exactly `n·k/2` for
+/// every `p`. At `p = 0` the result is the connected ring lattice; small
+/// `p` adds the long-range shortcuts that collapse the diameter while
+/// preserving local clustering. Connectivity is overwhelmingly likely but
+/// not *guaranteed* for `p > 0` — callers that need it should check
+/// [`crate::is_connected`].
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k < 2`, `k >= n`, or `p` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2), "lattice degree k must be even and >= 2");
+    assert!(k < n, "lattice degree k must be below n");
+    assert!((0.0..=1.0).contains(&p), "rewiring probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for i in 1..=(k / 2) {
+            let v = (u + i) % n;
+            // Keep the lattice edge unless this slot rewires. A slot also
+            // re-targets when an earlier rewire already occupies `(u, v)`,
+            // which is what keeps the edge count exactly `n·k/2`.
+            if !(p > 0.0 && rng.random_bool(p)) && b.add_edge_dedup(u, v).expect("in range") {
+                continue;
+            }
+            let mut placed = false;
+            for _ in 0..64 {
+                let w = rng.random_range(0..n);
+                if w != u && !b.has_edge(u, w) {
+                    b.add_edge(u, w).expect("validated rewire target");
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                // Dense lattice: deterministic sweep to the first free
+                // target, preserving the exact edge count.
+                let w = (0..n)
+                    .find(|&w| w != u && !b.has_edge(u, w))
+                    .expect("rewiring saturated a vertex (k too close to n)");
+                b.add_edge(u, w).expect("validated fallback target");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Two-level ISP core/edge hierarchy: a dense backbone of `core_n` routers
+/// with `edge_n` dual-homed access routers attached to it.
+///
+/// Vertices `0..core_n` are the core: a connected `G(n, m)` with exactly
+/// `2·core_n` edges (average core degree 4 — the redundancy of a real
+/// backbone). Vertices `core_n..core_n + edge_n` are access routers, each
+/// attached to two *distinct* uniformly random core routers, so every
+/// access router survives any single uplink fault. The graph is connected
+/// by construction and the edge count is exactly `2·core_n + 2·edge_n`.
+///
+/// Faults on access links are maximally local (the affected subtree is a
+/// single leaf); faults in the core force traffic-scale reroutes — the
+/// two regimes a restorable tiebreaking scheme must handle in one
+/// structure.
+///
+/// # Panics
+///
+/// Panics if `core_n < 5` (the dense core needs room for `2·core_n`
+/// simple edges) or `edge_n == 0`.
+pub fn isp_hierarchy(core_n: usize, edge_n: usize, seed: u64) -> Graph {
+    assert!(core_n >= 5, "core needs at least 5 routers for average degree 4");
+    assert!(edge_n > 0, "hierarchy needs at least one access router");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let core = connected_gnm(core_n, 2 * core_n, seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n = core_n + edge_n;
+    let mut b = GraphBuilder::new(n);
+    for (_, u, v) in core.edges() {
+        b.add_edge(u, v).expect("valid core edge");
+    }
+    for a in core_n..n {
+        let first = rng.random_range(0..core_n);
+        let mut second = rng.random_range(0..core_n);
+        while second == first {
+            second = rng.random_range(0..core_n);
+        }
+        b.add_edge(a, first).expect("valid uplink");
+        b.add_edge(a, second).expect("valid uplink");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn preferential_attachment_accounting() {
+        let g = preferential_attachment(100, 3, 7);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 97 * 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn watts_strogatz_accounting() {
+        for p in [0.0, 0.1, 1.0] {
+            let g = watts_strogatz(60, 6, p, 9);
+            assert_eq!(g.n(), 60);
+            assert_eq!(g.m(), 60 * 3, "rewiring must preserve m at p={p}");
+        }
+        assert!(is_connected(&watts_strogatz(60, 6, 0.0, 9)), "ring lattice");
+    }
+
+    #[test]
+    fn isp_hierarchy_accounting() {
+        let g = isp_hierarchy(10, 30, 5);
+        assert_eq!(g.n(), 40);
+        assert_eq!(g.m(), 2 * 10 + 2 * 30);
+        assert!(is_connected(&g));
+        for a in 10..40 {
+            assert_eq!(g.degree(a), 2, "access router {a} is dual-homed");
+        }
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        assert_eq!(preferential_attachment(50, 2, 1), preferential_attachment(50, 2, 1));
+        assert_ne!(preferential_attachment(50, 2, 1), preferential_attachment(50, 2, 2));
+        assert_eq!(watts_strogatz(40, 4, 0.3, 1), watts_strogatz(40, 4, 0.3, 1));
+        assert_ne!(watts_strogatz(40, 4, 0.3, 1), watts_strogatz(40, 4, 0.3, 2));
+        assert_eq!(isp_hierarchy(8, 16, 1), isp_hierarchy(8, 16, 1));
+        assert_ne!(isp_hierarchy(8, 16, 1), isp_hierarchy(8, 16, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_lattice_degree_panics() {
+        let _ = watts_strogatz(10, 3, 0.0, 0);
+    }
+}

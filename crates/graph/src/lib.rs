@@ -48,7 +48,13 @@
 //! * [`NextHopTable`] — routing tables in the MPLS sense (consistency of a
 //!   tiebreaking scheme is exactly what makes these well defined);
 //! * [`generators`] — the graph families used across tests and experiments,
-//!   including the 4-cycle of Theorem 37 and workloads for the benches.
+//!   including the 4-cycle of Theorem 37 and workloads for the benches;
+//! * [`gen`] — Internet-shaped generators (preferential attachment,
+//!   Watts–Strogatz small-world, two-level ISP core/edge hierarchy) for
+//!   the scaling workloads;
+//! * [`mod@reference`] — the pre-migration Vec-of-Vec engine, kept as the
+//!   executable specification the CSR core's differential suites pin
+//!   against.
 //!
 //! See `docs/ARCHITECTURE.md` at the repository root for the guide-level
 //! workspace architecture: the crate layering, the three-level query
@@ -94,12 +100,14 @@ mod connectivity;
 mod dijkstra;
 mod event;
 mod fault;
+pub mod gen;
 pub mod generators;
 mod graph;
 mod io;
 pub mod journal;
 mod path;
 mod pool;
+pub mod reference;
 mod routing;
 mod scratch;
 mod spt;
@@ -116,7 +124,7 @@ pub use connectivity::{components, connected_pair, diameter, is_connected, is_co
 pub use dijkstra::dijkstra;
 pub use event::{FaultEvent, FaultEventError, FaultState, WireEventError, WIRE_EVENT_LEN};
 pub use fault::FaultSet;
-pub use graph::{EdgeId, Graph, Vertex};
+pub use graph::{EdgeId, Graph, Vertex, MAX_EDGES, MAX_VERTICES};
 pub use io::{from_edge_list_str, to_edge_list_string, ParseGraphError};
 pub use path::Path;
 pub use pool::{default_workers, parallel_frontier, parallel_indexed, FrontierStats, ShardedSet};

@@ -212,32 +212,38 @@ pub struct SearchScratch<C = u32> {
     pub(crate) stamp: Vec<u32>,
     /// Tentative/final exact cost per vertex (weighted queries only).
     pub(crate) key: Vec<C>,
-    /// Parent `(vertex, edge)`; valid iff stamped and not the source.
-    pub(crate) parent: Vec<(Vertex, EdgeId)>,
+    /// Parent `(vertex, edge)` in stored-width `u32` ids; valid iff stamped
+    /// and not the source. Half the bytes of the old `(usize, usize)`
+    /// layout — parent writes are on every relaxation's hot path.
+    pub(crate) parent: Vec<(u32, u32)>,
     pub(crate) hops: Vec<u32>,
-    /// Indexed d-ary min-heap of open vertices, ordered by `(key, id)`
+    /// Indexed d-ary min-heap of open vertex ids, ordered by `(key, id)`
     /// ([`HeapKind::Indexed`] policy only).
-    pub(crate) heap: Vec<Vertex>,
+    pub(crate) heap: Vec<u32>,
     /// Position of each vertex in `heap`, or [`SETTLED`]. Under the
     /// inline-key policy this degrades to a settled/open marker (see
     /// [`SETTLED`]).
     pub(crate) heap_pos: Vec<u32>,
     /// Flat lazy min-heap of inline `(cost, vertex)` entries
-    /// ([`HeapKind::InlineKey`] policy only). Improved keys are pushed as
-    /// fresh entries; stale entries are skipped at pop. This is `std`'s
-    /// binary heap on purpose: its unsafe hole-based sifts beat anything
-    /// expressible under this crate's `#![forbid(unsafe_code)]` by ~40%
-    /// on out-of-cache graphs (measured against a safe 4-ary heap).
-    pub(crate) lazy: BinaryHeap<Reverse<(C, Vertex)>>,
+    /// ([`HeapKind::InlineKey`] policy only), vertex ids stored as `u32`
+    /// so a `(u32, u32)` entry is a single 8-byte word (the old
+    /// `(C, usize)` form padded every u32-cost entry to 16 bytes).
+    /// Improved keys are pushed as fresh entries; stale entries are
+    /// skipped at pop. This is `std`'s binary heap on purpose: its unsafe
+    /// hole-based sifts beat anything expressible under this crate's
+    /// `#![forbid(unsafe_code)]` by ~40% on out-of-cache graphs (measured
+    /// against a safe 4-ary heap).
+    pub(crate) lazy: BinaryHeap<Reverse<(C, u32)>>,
     /// The heap engine serving the current query (fixed at
     /// [`SearchScratch::begin`]; see [`SearchScratch::set_heap_kind`]).
     pub(crate) active: HeapKind,
     /// Forced heap engine, overriding the automatic choice.
     heap_override: Option<HeapKind>,
-    /// BFS frontier ring buffer.
-    pub(crate) queue: VecDeque<Vertex>,
-    /// Dirty list: vertices reached by the current query, in reach order.
-    pub(crate) touched: Vec<Vertex>,
+    /// BFS frontier ring buffer (stored-width ids).
+    pub(crate) queue: VecDeque<u32>,
+    /// Dirty list: vertices reached by the current query, in reach order
+    /// (stored-width ids).
+    pub(crate) touched: Vec<u32>,
     /// Relaxation buffer: the candidate cost under evaluation.
     pub(crate) cand: C,
 }
@@ -373,7 +379,8 @@ impl<C: PathCost> SearchScratch<C> {
     #[inline]
     pub fn parent(&self, v: Vertex) -> Option<(Vertex, EdgeId)> {
         if v != self.source && self.reached(v) {
-            Some(self.parent[v])
+            let (p, e) = self.parent[v];
+            Some((p as usize, e as usize))
         } else {
             None
         }
@@ -400,8 +407,8 @@ impl<C: PathCost> SearchScratch<C> {
         let mut cur = v;
         while cur != self.source {
             let (p, _) = self.parent[cur];
-            verts.push(p);
-            cur = p;
+            verts.push(p as usize);
+            cur = p as usize;
         }
         verts.reverse();
         Some(Path::new(verts))
@@ -410,8 +417,11 @@ impl<C: PathCost> SearchScratch<C> {
     /// Tree edge ids of the most recent query (one per reached non-source
     /// vertex), in reach order. Iterates the dirty list, not all of `0..n`.
     pub fn tree_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        let source = self.source;
-        self.touched.iter().filter(move |&&v| v != source).map(|&v| self.parent[v].1)
+        let source = self.source as u32;
+        self.touched
+            .iter()
+            .filter(move |&&v| v != source)
+            .map(|&v| self.parent[v as usize].1 as usize)
     }
 
     /// Materializes the most recent query as an owned [`BfsTree`].
@@ -424,9 +434,11 @@ impl<C: PathCost> SearchScratch<C> {
         let mut dist = vec![None; self.n];
         let mut parent = vec![None; self.n];
         for &v in &self.touched {
+            let v = v as usize;
             dist[v] = Some(self.hops[v]);
             if v != self.source {
-                parent[v] = Some(self.parent[v]);
+                let (p, e) = self.parent[v];
+                parent[v] = Some((p as usize, e as usize));
             }
         }
         BfsTree::from_parts(self.source, dist, parent)
@@ -444,10 +456,12 @@ impl<C: PathCost> SearchScratch<C> {
         let mut parent = vec![None; self.n];
         let mut hops = vec![0u32; self.n];
         for &v in &self.touched {
+            let v = v as usize;
             cost[v] = Some(self.key[v].clone());
             hops[v] = self.hops[v];
             if v != self.source {
-                parent[v] = Some(self.parent[v]);
+                let (p, e) = self.parent[v];
+                parent[v] = Some((p as usize, e as usize));
             }
         }
         WeightedSpt::new(self.source, parent, cost, hops, self.ties)
@@ -514,8 +528,8 @@ pub(crate) fn bfs_observed<C: PathCost, O: SearchObserver>(
     scratch.begin(g.n(), source, false);
     scratch.stamp[source] = scratch.epoch;
     scratch.hops[source] = 0;
-    scratch.touched.push(source);
-    scratch.queue.push_back(source);
+    scratch.touched.push(source as u32);
+    scratch.queue.push_back(source as u32);
     bfs_run(g, faults, scratch, obs);
 }
 
@@ -529,6 +543,7 @@ pub(crate) fn bfs_run<C: PathCost, O: SearchObserver>(
 ) {
     let epoch = scratch.epoch;
     while let Some(u) = scratch.queue.pop_front() {
+        let u = u as usize;
         obs.popped(u);
         let du = scratch.hops[u];
         for (v, e) in g.neighbors(u) {
@@ -537,9 +552,9 @@ pub(crate) fn bfs_run<C: PathCost, O: SearchObserver>(
             }
             scratch.stamp[v] = epoch;
             scratch.hops[v] = du + 1;
-            scratch.parent[v] = (u, e);
-            scratch.touched.push(v);
-            scratch.queue.push_back(v);
+            scratch.parent[v] = (u as u32, e as u32);
+            scratch.touched.push(v as u32);
+            scratch.queue.push_back(v as u32);
         }
         obs.relaxed(scratch.touched.len(), false);
     }
@@ -609,15 +624,15 @@ pub(crate) fn dijkstra_seed<C: PathCost>(
     scratch.stamp[source] = scratch.epoch;
     scratch.key[source].set_zero();
     scratch.hops[source] = 0;
-    scratch.touched.push(source);
+    scratch.touched.push(source as u32);
     match scratch.active {
         HeapKind::InlineKey => {
             scratch.heap_pos[source] = OPEN;
-            scratch.lazy.push(Reverse((scratch.key[source].clone(), source)));
+            scratch.lazy.push(Reverse((scratch.key[source].clone(), source as u32)));
         }
         HeapKind::Indexed => {
             scratch.heap_pos[source] = 0;
-            scratch.heap.push(source);
+            scratch.heap.push(source as u32);
         }
     }
 }
@@ -639,11 +654,11 @@ pub(crate) fn relax<C: PathCost>(
     cand: &mut C,
     stamp: &mut [u32],
     key: &mut [C],
-    parent: &mut [(Vertex, EdgeId)],
+    parent: &mut [(u32, u32)],
     hops: &mut [u32],
-    heap: &mut Vec<Vertex>,
+    heap: &mut Vec<u32>,
     heap_pos: &mut [u32],
-    touched: &mut Vec<Vertex>,
+    touched: &mut Vec<u32>,
     ties: &mut bool,
 ) {
     if stamp[v] != epoch {
@@ -651,18 +666,18 @@ pub(crate) fn relax<C: PathCost>(
         // both buffers warm.
         stamp[v] = epoch;
         mem::swap(&mut key[v], cand);
-        parent[v] = (u, e);
+        parent[v] = (u as u32, e as u32);
         hops[v] = hops[u] + 1;
-        touched.push(v);
+        touched.push(v as u32);
         let end = heap.len();
         heap_pos[v] = end as u32;
-        heap.push(v);
+        heap.push(v as u32);
         sift_up(heap, heap_pos, key, end);
     } else if heap_pos[v] != SETTLED {
         match (*cand).cmp(&key[v]) {
             Ordering::Less => {
                 mem::swap(&mut key[v], cand);
-                parent[v] = (u, e);
+                parent[v] = (u as u32, e as u32);
                 hops[v] = hops[u] + 1;
                 let pos = heap_pos[v] as usize;
                 sift_up(heap, heap_pos, key, pos);
@@ -704,28 +719,28 @@ pub(crate) fn relax_inline<C: PathCost>(
     cand: C,
     stamp: &mut [u32],
     key: &mut [C],
-    parent: &mut [(Vertex, EdgeId)],
+    parent: &mut [(u32, u32)],
     hops: &mut [u32],
-    lazy: &mut BinaryHeap<Reverse<(C, Vertex)>>,
+    lazy: &mut BinaryHeap<Reverse<(C, u32)>>,
     heap_pos: &mut [u32],
-    touched: &mut Vec<Vertex>,
+    touched: &mut Vec<u32>,
     ties: &mut bool,
 ) {
     if stamp[v] != epoch {
         stamp[v] = epoch;
         key[v] = cand.clone();
-        parent[v] = (u, e);
+        parent[v] = (u as u32, e as u32);
         hops[v] = hops[u] + 1;
         heap_pos[v] = OPEN;
-        touched.push(v);
-        lazy.push(Reverse((cand, v)));
+        touched.push(v as u32);
+        lazy.push(Reverse((cand, v as u32)));
     } else {
         match cand.cmp(&key[v]) {
             Ordering::Less => {
                 key[v] = cand.clone();
-                parent[v] = (u, e);
+                parent[v] = (u as u32, e as u32);
                 hops[v] = hops[u] + 1;
-                lazy.push(Reverse((cand, v)));
+                lazy.push(Reverse((cand, v as u32)));
             }
             // Equal-cost routes are ties, whether v is open or settled —
             // the same two cases the indexed engine flags.
@@ -779,7 +794,7 @@ fn dijkstra_run_indexed<C, F, O>(
 
     let mut budget = limit;
     while budget > 0 && !heap.is_empty() {
-        let u = pop_min(heap, heap_pos, key);
+        let u = pop_min(heap, heap_pos, key) as usize;
         budget -= 1;
         obs.popped(u);
         for (v, e) in g.neighbors(u) {
@@ -813,6 +828,7 @@ fn dijkstra_run_inline<C, F, O>(
     let mut budget = limit;
     while budget > 0 {
         let Some(Reverse((c, u))) = lazy.pop() else { break };
+        let u = u as usize;
         if key[u] != c {
             // Stale entry: u was re-pushed with a better key (and that
             // entry either settled u already or still precedes this one).
@@ -840,21 +856,21 @@ fn dijkstra_run_inline<C, F, O>(
 /// path selection, it only makes the order total (and reproduces the lazy
 /// binary heap's settle order on tied costs).
 #[inline]
-fn heap_less<C: Ord>(key: &[C], a: Vertex, b: Vertex) -> bool {
-    match key[a].cmp(&key[b]) {
+fn heap_less<C: Ord>(key: &[C], a: u32, b: u32) -> bool {
+    match key[a as usize].cmp(&key[b as usize]) {
         Ordering::Less => true,
         Ordering::Greater => false,
         Ordering::Equal => a < b,
     }
 }
 
-pub(crate) fn sift_up<C: Ord>(heap: &mut [Vertex], pos: &mut [u32], key: &[C], mut i: usize) {
+pub(crate) fn sift_up<C: Ord>(heap: &mut [u32], pos: &mut [u32], key: &[C], mut i: usize) {
     while i > 0 {
         let p = (i - 1) / ARITY;
         if heap_less(key, heap[i], heap[p]) {
             heap.swap(i, p);
-            pos[heap[i]] = i as u32;
-            pos[heap[p]] = p as u32;
+            pos[heap[i] as usize] = i as u32;
+            pos[heap[p] as usize] = p as u32;
             i = p;
         } else {
             break;
@@ -862,7 +878,7 @@ pub(crate) fn sift_up<C: Ord>(heap: &mut [Vertex], pos: &mut [u32], key: &[C], m
     }
 }
 
-fn sift_down<C: Ord>(heap: &mut [Vertex], pos: &mut [u32], key: &[C], mut i: usize) {
+fn sift_down<C: Ord>(heap: &mut [u32], pos: &mut [u32], key: &[C], mut i: usize) {
     loop {
         let first = i * ARITY + 1;
         if first >= heap.len() {
@@ -879,19 +895,19 @@ fn sift_down<C: Ord>(heap: &mut [Vertex], pos: &mut [u32], key: &[C], mut i: usi
             break;
         }
         heap.swap(i, best);
-        pos[heap[i]] = i as u32;
-        pos[heap[best]] = best as u32;
+        pos[heap[i] as usize] = i as u32;
+        pos[heap[best] as usize] = best as u32;
         i = best;
     }
 }
 
-fn pop_min<C: Ord>(heap: &mut Vec<Vertex>, pos: &mut [u32], key: &[C]) -> Vertex {
+fn pop_min<C: Ord>(heap: &mut Vec<u32>, pos: &mut [u32], key: &[C]) -> u32 {
     let root = heap[0];
-    pos[root] = SETTLED;
+    pos[root as usize] = SETTLED;
     let last = heap.pop().expect("pop_min on an empty heap");
     if !heap.is_empty() {
         heap[0] = last;
-        pos[last] = 0;
+        pos[last as usize] = 0;
         sift_down(heap, pos, key, 0);
     }
     root

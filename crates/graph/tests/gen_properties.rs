@@ -1,0 +1,95 @@
+//! Sanity properties for the Internet-shaped generators in
+//! [`rsp_graph::gen`]: seeded determinism, exact `n`/`m` accounting,
+//! connectivity where the docs promise it, and the scale-free signature —
+//! preferential attachment grows hubs that a degree-balanced `G(n, m)` at
+//! identical size never produces.
+
+use proptest::prelude::*;
+use rsp_graph::{gen, generators, is_connected, Graph};
+
+fn max_degree(g: &Graph) -> usize {
+    g.vertices().map(|v| g.degree(v)).max().unwrap_or(0)
+}
+
+proptest! {
+    /// Same arguments, same graph — byte for byte; a different seed moves
+    /// at least one edge (overwhelmingly likely at these sizes, and
+    /// deterministic given the fixed strategies).
+    #[test]
+    fn preferential_attachment_is_seed_deterministic(
+        n in 10usize..=120,
+        m_per in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let a = gen::preferential_attachment(n, m_per, seed);
+        let b = gen::preferential_attachment(n, m_per, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.n(), n);
+        prop_assert_eq!(a.m(), (n - m_per) * m_per, "exact accounting");
+        prop_assert!(is_connected(&a), "grown from a connected seed");
+    }
+
+    /// Watts–Strogatz: exact `m = n·k/2` at every rewiring probability,
+    /// determinism per seed, and the promised connectivity at `p = 0`.
+    #[test]
+    fn watts_strogatz_accounting_and_determinism(
+        n in 12usize..=100,
+        half_k in 1usize..=3,
+        p_pct in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let k = 2 * half_k;
+        let p = f64::from(p_pct) / 100.0;
+        let a = gen::watts_strogatz(n, k, p, seed);
+        prop_assert_eq!(&a, &gen::watts_strogatz(n, k, p, seed));
+        prop_assert_eq!(a.n(), n);
+        prop_assert_eq!(a.m(), n * k / 2, "rewiring preserves the edge count");
+        prop_assert!(is_connected(&gen::watts_strogatz(n, k, 0.0, seed)), "p=0 ring lattice");
+    }
+
+    /// ISP hierarchy: exact accounting, determinism, connectivity, and
+    /// every access router dual-homed into the core.
+    #[test]
+    fn isp_hierarchy_shape(
+        core_n in 5usize..=30,
+        edge_n in 1usize..=60,
+        seed in any::<u64>(),
+    ) {
+        let g = gen::isp_hierarchy(core_n, edge_n, seed);
+        prop_assert_eq!(&g, &gen::isp_hierarchy(core_n, edge_n, seed));
+        prop_assert_eq!(g.n(), core_n + edge_n);
+        prop_assert_eq!(g.m(), 2 * core_n + 2 * edge_n, "exact accounting");
+        prop_assert!(is_connected(&g), "core is connected and every uplink lands in it");
+        for a in core_n..g.n() {
+            prop_assert_eq!(g.degree(a), 2, "access router {} is dual-homed", a);
+        }
+    }
+}
+
+/// The scale-free signature: at equal `n` and `m`, the preferential-
+/// attachment hub dwarfs the maximum degree of a degree-balanced
+/// `G(n, m)`. Fixed seeds keep this deterministic; the 2× margin is far
+/// below the typical gap (power-law hubs sit an order of magnitude above
+/// the `G(n, m)` maximum at this size).
+#[test]
+fn preferential_attachment_grows_hubs_gnm_does_not() {
+    for seed in [3u64, 17, 86] {
+        let pa = gen::preferential_attachment(600, 3, seed);
+        let gnm = generators::connected_gnm(600, pa.m(), seed);
+        assert_eq!(pa.m(), gnm.m(), "same size, different shape");
+        let (pa_max, gnm_max) = (max_degree(&pa), max_degree(&gnm));
+        assert!(
+            pa_max >= 2 * gnm_max,
+            "seed {seed}: expected a hub, got PA max {pa_max} vs G(n,m) max {gnm_max}"
+        );
+    }
+}
+
+/// A different seed actually moves edges (the `assert_ne` half of
+/// determinism, pinned on fixed seeds so it can never flake).
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(gen::preferential_attachment(80, 2, 1), gen::preferential_attachment(80, 2, 2));
+    assert_ne!(gen::watts_strogatz(60, 4, 0.5, 1), gen::watts_strogatz(60, 4, 0.5, 2));
+    assert_ne!(gen::isp_hierarchy(10, 40, 1), gen::isp_hierarchy(10, 40, 2));
+}
